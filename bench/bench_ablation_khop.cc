@@ -1,0 +1,101 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   (1) hop reach K in {1,2,3,4}: fault resilience vs OCSTrx bundle cost;
+//   (2) ring vs K-hop line topology (§4.2's trade-off);
+//   (3) deployment-strategy on/off for the orchestrator (Algorithm 3).
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/cost/bom.h"
+#include "src/dcn/traffic.h"
+#include "src/fault/trace.h"
+#include "src/orch/orchestrator.h"
+#include "src/topo/khop_ring.h"
+#include "src/topo/waste.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Ablations: K sweep, ring-vs-line, deployment strategy");
+  const int trials = opt.quick ? 30 : 150;
+
+  {
+    Table table("K sweep: TP-32 waste ratio on 720 4-GPU nodes (+ per-GPU "
+                "interconnect cost scaled by bundle count)");
+    table.set_header({"K", "waste @2%", "waste @5%", "waste @10%",
+                      "OCSTrx/node", "est. cost/GPU"});
+    const auto boms = cost::paper_boms();
+    const double k2_cost =
+        cost::bom_by_name(boms, "InfiniteHBD(K=2)").cost_per_gpu();
+    const double k3_cost =
+        cost::bom_by_name(boms, "InfiniteHBD(K=3)").cost_per_gpu();
+    const double per_bundle = k3_cost - k2_cost;  // one extra bundle
+    for (int k : {1, 2, 3, 4}) {
+      topo::KHopRing ring(720, 4, k);
+      Rng rng(100 + k);
+      std::vector<std::string> row{std::to_string(k)};
+      for (double f : {0.02, 0.05, 0.10})
+        row.push_back(Table::pct(
+            topo::mean_waste_at_ratio(ring, f, 32, trials, rng)));
+      row.push_back(std::to_string(8 * k));
+      row.push_back(Table::fmt(k2_cost + (k - 2) * per_bundle, 0));
+      table.add_row(row);
+    }
+    bench::emit(opt, "ablation_k_sweep", table);
+  }
+
+  {
+    Table table("Ring vs K-hop line (K=2, TP-32): the wrap link's value");
+    table.set_header({"Fault ratio", "Ring waste", "Line waste"});
+    topo::KHopRing ring(720, 4, 2, true);
+    topo::KHopRing line(720, 4, 2, false);
+    for (double f : {0.0, 0.02, 0.05, 0.10}) {
+      Rng rng(7);
+      Rng rng2(7);
+      table.add_row(
+          {Table::pct(f, 0),
+           Table::pct(topo::mean_waste_at_ratio(ring, f, 32, trials, rng)),
+           Table::pct(topo::mean_waste_at_ratio(line, f, 32, trials, rng2))});
+    }
+    bench::emit(opt, "ablation_ring_vs_line", table);
+  }
+
+  {
+    Table table("Deployment strategy ablation (2048 nodes, TP-32, job 85%, "
+                "faults 3%): interleaved sub-lines vs naive physical order");
+    table.set_header({"Deployment", "Cross-ToR rate"});
+    dcn::FatTreeConfig cfg;
+    cfg.node_count = 2048;
+    cfg.nodes_per_tor = 8;
+    cfg.tors_per_domain = 64;
+    const dcn::FatTree ft(cfg);
+    Rng rng(55);
+    const auto mask = fault::sample_fault_mask(2048, 0.03, rng);
+    orch::JobSpec job{32, static_cast<int>(2048 * 4 * 0.85)};
+    const int use = job.gpu_count / 32;
+
+    orch::FatTreeOrchestrator orchestrator(ft, 2, 4);
+    const auto deployed = orchestrator.orchestrate(mask, job);
+    table.add_row({"Algorithm 3 (interleaved)",
+                   Table::pct(dcn::evaluate_cross_tor(ft, deployed, 4, {}, use)
+                                  .cross_tor_rate())});
+
+    // Naive: physical order = HBD order (§4.3's "sorting nodes based on
+    // deployment order" strawman). TP groups then sit inside ToRs but DP
+    // partners land in different ToRs.
+    std::vector<int> naive(2048);
+    for (int i = 0; i < 2048; ++i) naive[i] = i;
+    auto groups = orch::orchestrate_dcn_free(naive, 2, mask, 8);
+    dcn::PlacementScheme placement;
+    for (auto& g : groups) {
+      dcn::PlacedGroup pg;
+      pg.group = std::move(g);
+      placement.groups.push_back(std::move(pg));
+    }
+    table.add_row({"Naive physical order",
+                   Table::pct(dcn::evaluate_cross_tor(ft, placement, 4, {},
+                                                      use)
+                                  .cross_tor_rate())});
+    bench::emit(opt, "ablation_deployment", table);
+  }
+  return 0;
+}

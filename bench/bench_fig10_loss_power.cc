@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 10: insertion loss (a) and per-path core-module
+// power (b) of the OCSTrx across ambient temperature.
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/phy/switch_matrix.h"
+
+using namespace ihbd;
+using phy::OcsPath;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 10: OCSTrx core-module insertion loss & power vs temperature");
+
+  phy::OcsSwitchMatrix matrix;
+  Rng rng(2025);
+  const int samples = opt.quick ? 200 : 1000;
+
+  Table loss("Fig. 10a: insertion loss (dB) - paper: mean 3.3 dB @25C, range 2.5-4.0");
+  loss.set_header({"Temp (C)", "Average Loss", "Max Loss", "Min Loss"});
+  for (double temp : {0.0, 25.0, 50.0, 85.0}) {
+    std::vector<double> xs;
+    xs.reserve(samples);
+    for (int i = 0; i < samples; ++i)
+      xs.push_back(
+          matrix.sample_insertion_loss_db(OcsPath::kExternal1, temp, rng));
+    const Summary s = summarize(xs);
+    loss.add_row({Table::fmt(temp, 0), Table::fmt(s.mean, 2),
+                  Table::fmt(s.max, 2), Table::fmt(s.min, 2)});
+  }
+  bench::emit(opt, "fig10a_insertion_loss", loss);
+
+  Table power("Fig. 10b: core-module power (W) per activated path - paper: < 3.2 W");
+  power.set_header({"Temp (C)", "Path 1 (ext)", "Path 2 (ext)", "Path 3 (loop)"});
+  for (double temp : {0.0, 25.0, 50.0, 85.0}) {
+    power.add_row(
+        {Table::fmt(temp, 0),
+         Table::fmt(matrix.drive_power_w(OcsPath::kExternal1, temp), 3),
+         Table::fmt(matrix.drive_power_w(OcsPath::kExternal2, temp), 3),
+         Table::fmt(matrix.drive_power_w(OcsPath::kLoopback, temp), 3)});
+  }
+  bench::emit(opt, "fig10b_power", power);
+  return 0;
+}

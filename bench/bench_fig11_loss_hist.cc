@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 11: insertion-loss distribution of the OCSTrx core
+// module at four ambient temperatures.
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/phy/switch_matrix.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 11: insertion-loss distribution vs temperature");
+
+  phy::OcsSwitchMatrix matrix;
+  Rng rng(7);
+  const int samples = opt.quick ? 300 : 2000;
+
+  Table table("Histogram bin counts (loss dB, 2.0..4.5, 10 bins)");
+  std::vector<std::string> header{"Temp (C)"};
+  Histogram probe(2.0, 4.5, 10);
+  for (std::size_t b = 0; b < probe.bin_count(); ++b)
+    header.push_back(Table::fmt(probe.bin_lo(b), 2));
+  table.set_header(header);
+
+  for (double temp : {0.0, 25.0, 50.0, 85.0}) {
+    Histogram hist(2.0, 4.5, 10);
+    for (int i = 0; i < samples; ++i)
+      hist.add(matrix.sample_insertion_loss_db(phy::OcsPath::kExternal1, temp,
+                                               rng));
+    std::vector<std::string> row{Table::fmt(temp, 0)};
+    for (std::size_t b = 0; b < hist.bin_count(); ++b)
+      row.push_back(std::to_string(hist.count(b)));
+    table.add_row(row);
+
+    std::printf("--- %g C ---\n%s", temp, hist.to_string(30).c_str());
+  }
+  bench::emit(opt, "fig11_loss_hist", table);
+  return 0;
+}

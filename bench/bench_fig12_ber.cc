@@ -1,0 +1,41 @@
+// Reproduces paper Fig. 12: measured BER vs transmit OMA at four ambient
+// temperatures. Expected shape: identically 0 at -5/25 C; 0 in most cases
+// at 50/75 C with occasional errors only at very low OMA.
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/phy/ber.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 12: BER vs OMA vs temperature");
+
+  phy::OcsSwitchMatrix matrix;
+  phy::BerModel ber(matrix);
+  Rng rng(12);
+  const int measurements = opt.quick ? 20 : 60;
+
+  Table table("Measured BER (max over repeated runs; 0 = below 1e-13 tester floor)");
+  table.set_header({"Temp (C)", "OMA (mW)", "max BER", "nonzero runs"});
+  for (double temp : {-5.0, 25.0, 50.0, 75.0}) {
+    for (double oma : {0.25, 0.40, 0.55, 0.70, 0.85, 1.00}) {
+      double worst = 0.0;
+      int nonzero = 0;
+      for (int i = 0; i < measurements; ++i) {
+        const double b =
+            ber.measure_ber(phy::OcsPath::kExternal1, oma, temp, rng);
+        worst = std::max(worst, b);
+        if (b > 0.0) ++nonzero;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1e", worst);
+      table.add_row({Table::fmt(temp, 0), Table::fmt(oma, 2),
+                     worst == 0.0 ? "0" : buf,
+                     std::to_string(nonzero) + "/" +
+                         std::to_string(measurements)});
+    }
+  }
+  bench::emit(opt, "fig12_ber", table);
+  return 0;
+}

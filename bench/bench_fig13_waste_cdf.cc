@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 13 (TP-16/TP-32) and Fig. 21 (TP-8..TP-64):
+// CDF of the GPU waste ratio over the production fault trace, 4-GPU nodes,
+// per HBD architecture. Headline (§1): InfiniteHBD TP-32 waste 0.53% vs
+// NVL-72 10.04% and TPUv4 7.56%.
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figures 13 & 21: GPU waste ratio CDF over production trace");
+
+  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto archs = bench::make_archs();
+
+  for (int tp : {8, 16, 32, 64}) {
+    Table table("TP-" + std::to_string(tp) +
+                ": waste-ratio distribution over the trace");
+    table.set_header({"Architecture", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& arch : archs) {
+      if (!bench::arch_supports_tp(*arch, tp)) continue;
+      const auto result =
+          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0);
+      const Summary& s = result.waste_summary;
+      table.add_row({arch->name(), Table::pct(s.mean), Table::pct(s.p50),
+                     Table::pct(s.p90), Table::pct(s.p99),
+                     Table::pct(s.max)});
+    }
+    bench::emit(opt, "fig13_waste_cdf_tp" + std::to_string(tp), table);
+  }
+
+  std::puts("Paper anchors (TP-32): InfiniteHBD 0.53%, TPUv4 7.56%, "
+            "NVL-72 10.04%.");
+  return 0;
+}

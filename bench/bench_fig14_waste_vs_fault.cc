@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 14 (TP-16/TP-32) and Fig. 22 (TP-8..TP-64): mean
+// GPU waste ratio as the node fault ratio sweeps 0-10% (i.i.d. fault
+// model), per HBD architecture, 4-GPU nodes.
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figures 14 & 22: GPU waste ratio vs node fault ratio");
+
+  const auto archs = bench::make_archs();
+  const int trials = opt.quick ? 30 : 200;
+  Rng rng(14);
+
+  for (int tp : {8, 16, 32, 64}) {
+    Table table("TP-" + std::to_string(tp) + ": mean waste ratio (" +
+                std::to_string(trials) + " trials per point)");
+    std::vector<std::string> header{"Fault ratio"};
+    for (const auto& arch : archs)
+      if (bench::arch_supports_tp(*arch, tp)) header.push_back(arch->name());
+    table.set_header(header);
+
+    for (double f : {0.0, 0.01, 0.02, 0.03, 0.05, 0.07, 0.10}) {
+      std::vector<std::string> row{Table::pct(f, 0)};
+      for (const auto& arch : archs) {
+        if (!bench::arch_supports_tp(*arch, tp)) continue;
+        row.push_back(Table::pct(
+            topo::mean_waste_at_ratio(*arch, f, tp, trials, rng)));
+      }
+      table.add_row(row);
+    }
+    bench::emit(opt, "fig14_waste_vs_fault_tp" + std::to_string(tp), table);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Fig. 15: maximal job scale supported by the 2,880-GPU
+// cluster per architecture and TP size, replaying the production trace
+// (upper limit 2,880).
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 15: maximal job scale supported by 2,880 GPUs");
+
+  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto archs = bench::make_archs();
+
+  Table table("Job scale (GPUs) supportable 99% of the trace duration");
+  std::vector<std::string> header{"Architecture"};
+  for (int tp : {8, 16, 32, 64}) header.push_back("TP" + std::to_string(tp));
+  table.set_header(header);
+
+  for (const auto& arch : archs) {
+    std::vector<std::string> row{arch->name()};
+    for (int tp : {8, 16, 32, 64}) {
+      if (!bench::arch_supports_tp(*arch, tp)) {
+        row.push_back("-");
+        continue;
+      }
+      const auto result =
+          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0);
+      row.push_back(std::to_string(
+          topo::max_job_scale(result.usable_gpus, 0.99, tp)));
+    }
+    table.add_row(row);
+  }
+  table.add_row({"Upper limit", "2880", "2880", "2880", "2880"});
+  bench::emit(opt, "fig15_max_job", table);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Fig. 16 (TP-16/TP-32) and Fig. 23 (TP-8..TP-64): the
+// fraction of time a job of a given scale must wait for repairs because
+// usable GPUs fall below its requirement, over the production trace.
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figures 16 & 23: job fault-waiting rate vs job scale");
+
+  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto archs = bench::make_archs();
+
+  for (int tp : {8, 16, 32, 64}) {
+    Table table("TP-" + std::to_string(tp) + ": fault-waiting rate");
+    std::vector<std::string> header{"Job scale (GPU)"};
+    for (const auto& arch : archs)
+      if (bench::arch_supports_tp(*arch, tp)) header.push_back(arch->name());
+    table.set_header(header);
+
+    // Pre-compute each architecture's usable series once.
+    std::vector<TimeSeries> usable;
+    for (const auto& arch : archs) {
+      if (!bench::arch_supports_tp(*arch, tp)) continue;
+      usable.push_back(
+          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0).usable_gpus);
+    }
+
+    for (int scale : {1920, 2176, 2432, 2560, 2688, 2816}) {
+      std::vector<std::string> row{std::to_string(scale)};
+      for (const auto& series : usable)
+        row.push_back(Table::pct(topo::fault_waiting_rate(series, scale)));
+      table.add_row(row);
+    }
+    bench::emit(opt, "fig16_fault_waiting_tp" + std::to_string(tp), table);
+  }
+  return 0;
+}

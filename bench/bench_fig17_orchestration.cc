@@ -1,0 +1,101 @@
+// Reproduces paper Fig. 17a-c: cross-ToR traffic rate of the HBD-DCN
+// orchestration algorithm vs the greedy baseline on a Fat-Tree DCN,
+// running TP-32 on InfiniteHBD:
+//   (a) sensitivity to cluster size (8k-20k GPUs, job 85%, faults 5%),
+//   (b) impact of job-scale ratio (70-90%, faults 5%),
+//   (c) sensitivity to node fault ratio (0-8%, job 85%).
+#include "bench/bench_util.h"
+#include "src/dcn/traffic.h"
+#include "src/fault/trace.h"
+#include "src/orch/orchestrator.h"
+
+using namespace ihbd;
+
+namespace {
+
+struct Setup {
+  dcn::FatTree fat_tree;
+  orch::FatTreeOrchestrator orchestrator;
+  explicit Setup(int nodes)
+      : fat_tree(dcn::FatTreeConfig{nodes, /*nodes_per_tor=*/8,
+                                    /*tors_per_domain=*/64}),
+        orchestrator(fat_tree, /*k=*/2, /*gpus_per_node=*/4) {}
+};
+
+struct Rates {
+  double optimized;
+  double baseline;
+};
+
+Rates measure(Setup& setup, double fault_ratio, double job_ratio, Rng& rng,
+              int trials) {
+  double opt_total = 0.0, base_total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const int nodes = setup.fat_tree.node_count();
+    const auto mask = fault::sample_fault_mask(nodes, fault_ratio, rng);
+    orch::JobSpec job{32, static_cast<int>(nodes * 4 * job_ratio)};
+    const int use = job.gpu_count / job.tp_size_gpus;
+
+    const auto optimized = setup.orchestrator.orchestrate(mask, job);
+    opt_total +=
+        dcn::evaluate_cross_tor(setup.fat_tree, optimized, 4, {}, use)
+            .cross_tor_rate();
+    const auto baseline =
+        orch::greedy_baseline(setup.fat_tree, 2, 4, mask, job, rng);
+    base_total +=
+        dcn::evaluate_cross_tor(setup.fat_tree, baseline, 4, {}, use)
+            .cross_tor_rate();
+  }
+  return {opt_total / trials, base_total / trials};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 17a-c: HBD-DCN orchestration cross-ToR rate");
+  const int trials = opt.quick ? 2 : 5;
+  Rng rng(170);
+
+  {
+    Table table("Fig. 17a: sensitivity to cluster size (job 85%, faults 5%)");
+    table.set_header({"Cluster (GPU)", "Baseline", "Optimized"});
+    for (int nodes : {1024, 2048, 3072, 5120}) {
+      Setup setup(nodes);
+      const auto r = measure(setup, 0.05, 0.85, rng, trials);
+      table.add_row({std::to_string(nodes * 4), Table::pct(r.baseline),
+                     Table::pct(r.optimized)});
+    }
+    bench::emit(opt, "fig17a_cluster_size", table);
+  }
+
+  {
+    Table table("Fig. 17b: impact of job-scale ratio (8192 GPUs, faults 5%)");
+    table.set_header({"Job scale", "Baseline", "Optimized", "Paper opt"});
+    Setup setup(2048);
+    const char* paper[] = {"~0.5%", "~0.8%", "~1.1%", "1.72%"};
+    int i = 0;
+    for (double ratio : {0.70, 0.80, 0.85, 0.90}) {
+      const auto r = measure(setup, 0.05, ratio, rng, trials);
+      table.add_row({Table::pct(ratio, 0), Table::pct(r.baseline),
+                     Table::pct(r.optimized), paper[i++]});
+    }
+    bench::emit(opt, "fig17b_job_scale", table);
+  }
+
+  {
+    Table table("Fig. 17c: sensitivity to fault ratio (8192 GPUs, job 85%)");
+    table.set_header({"Fault ratio", "Baseline", "Optimized"});
+    Setup setup(2048);
+    for (double f : {0.0, 0.01, 0.03, 0.05, 0.07, 0.08}) {
+      const auto r = measure(setup, f, 0.85, rng, trials);
+      table.add_row({Table::pct(f, 0), Table::pct(r.baseline),
+                     Table::pct(r.optimized)});
+    }
+    bench::emit(opt, "fig17c_fault_ratio", table);
+  }
+
+  std::puts("Paper: baseline ~10% throughout; optimized near-zero under 7% "
+            "faults, 1.72% at 90% job scale.");
+  return 0;
+}

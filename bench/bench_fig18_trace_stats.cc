@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 18 (Appendix A): fault-node-ratio trace overview
+// and its CDF for the production-calibrated synthetic trace.
+// Paper statistics: mean 2.33%, p50 1.67%, p99 7.22% over 348 days.
+#include "bench/bench_util.h"
+#include "src/fault/generator.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 18: production fault trace statistics");
+
+  const auto trace = fault::generate_trace();
+  const Summary s = trace.ratio_summary(0.25);
+
+  Table stats("Fig. 18 trace statistics (8-GPU nodes)");
+  stats.set_header({"Metric", "Reproduced", "Paper"});
+  stats.add_row({"mean fault-node ratio", Table::pct(s.mean), "2.33%"});
+  stats.add_row({"p50", Table::pct(s.p50), "1.67%"});
+  stats.add_row({"p99", Table::pct(s.p99), "7.22%"});
+  stats.add_row({"duration (days)", Table::fmt(trace.duration_days(), 0),
+                 "348"});
+  stats.add_row({"fault events", std::to_string(trace.events().size()), "-"});
+  stats.add_row({"mean repair (days)", Table::fmt(trace.mean_repair_days(), 2),
+                 "-"});
+  bench::emit(opt, "fig18_stats", stats);
+
+  Table series("Fig. 18a: fault-node ratio over time (weekly samples)");
+  series.set_header({"Day", "Fault Node Ratio"});
+  const auto ts = trace.ratio_series(7.0);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    series.add_row({Table::fmt(ts.t[i], 0), Table::pct(ts.v[i])});
+  bench::emit(opt, "fig18a_series", series);
+
+  Table cdf("Fig. 18b: CDF of fault-node ratio");
+  cdf.set_header({"Ratio", "CDF"});
+  const auto points = empirical_cdf(trace.ratio_series(0.25).v);
+  for (std::size_t i = 0; i < points.size(); i += points.size() / 20 + 1)
+    cdf.add_row({Table::pct(points[i].value), Table::fmt(points[i].cum_prob, 3)});
+  bench::emit(opt, "fig18b_cdf", cdf);
+
+  // The Appendix-A normalization.
+  Rng rng(91);
+  const auto trace4 = trace.split_to_half_nodes(rng);
+  Table norm("Appendix A: 8-GPU -> 4-GPU node normalization");
+  norm.set_header({"Trace", "Nodes", "Mean fault ratio"});
+  norm.add_row({"8-GPU nodes", std::to_string(trace.node_count()),
+                Table::pct(s.mean)});
+  norm.add_row({"4-GPU nodes", std::to_string(trace4.node_count()),
+                Table::pct(trace4.ratio_summary(0.25).mean)});
+  bench::emit(opt, "fig18_normalization", norm);
+  return 0;
+}

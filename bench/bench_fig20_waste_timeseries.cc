@@ -1,0 +1,38 @@
+// Reproduces paper Fig. 20: GPU waste ratio over trace time (monthly
+// samples shown; CSV mode captures the full daily series), per
+// architecture and TP size.
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Figure 20: waste ratio over production-trace time");
+
+  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto archs = bench::make_archs();
+
+  for (int tp : {8, 32}) {  // representative pair; CSV emits all four
+    Table table("TP-" + std::to_string(tp) +
+                ": waste ratio time series (30-day samples)");
+    std::vector<std::string> header{"Day"};
+    std::vector<TimeSeries> series;
+    for (const auto& arch : archs) {
+      if (!bench::arch_supports_tp(*arch, tp)) continue;
+      header.push_back(arch->name());
+      series.push_back(
+          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0).waste_ratio);
+    }
+    table.set_header(header);
+    if (!series.empty()) {
+      for (std::size_t i = 0; i < series[0].size(); i += 30) {
+        std::vector<std::string> row{Table::fmt(series[0].t[i], 0)};
+        for (const auto& ts : series) row.push_back(Table::pct(ts.v[i]));
+        table.add_row(row);
+      }
+    }
+    bench::emit(opt, "fig20_waste_timeseries_tp" + std::to_string(tp), table);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces paper §5.2 (small-scale cluster evaluation): Ring AllReduce
+// bandwidth utilization at 16/32 GPUs vs the NVLink-switch 8-GPU baseline,
+// and the small-packet latency advantage of direct GPU-GPU links.
+#include "bench/bench_util.h"
+#include "src/collective/ring_sim.h"
+
+using namespace ihbd;
+using namespace ihbd::collective;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("§5.2: small-scale cluster AllReduce");
+
+  const double big = 1.0 * (1ull << 30);
+
+  Table util("AllReduce bus-bandwidth utilization (paper: 77.11% @16, "
+             "77.26% @32 ring; 81.77% switch @8)");
+  util.set_header({"Fabric", "GPUs", "Utilization", "Paper"});
+  const auto r16 = simulate_ring_allreduce(16, big);
+  const auto r32 = simulate_ring_allreduce(32, big);
+  const auto sw8 = simulate_switch_allreduce(8, big);
+  util.add_row({"InfiniteHBD ring", "16", Table::pct(r16.bus_utilization),
+                "77.11%"});
+  util.add_row({"InfiniteHBD ring", "32", Table::pct(r32.bus_utilization),
+                "77.26%"});
+  util.add_row({"NVLink switch (no SHARP)", "8",
+                Table::pct(sw8.bus_utilization), "81.77%"});
+  bench::emit(opt, "small_cluster_utilization", util);
+
+  Table lat("Small-packet latency (paper: direct links ~13% lower)");
+  lat.set_header({"Packet (B)", "Direct (us)", "Switch (us)", "Reduction"});
+  for (double bytes : {64.0, 256.0, 1024.0, 4096.0}) {
+    const double d = direct_link_latency(bytes);
+    const double s = switch_link_latency(bytes);
+    lat.add_row({Table::fmt(bytes, 0), Table::fmt(d * 1e6, 3),
+                 Table::fmt(s * 1e6, 3), Table::pct(1.0 - d / s)});
+  }
+  bench::emit(opt, "small_cluster_latency", lat);
+
+  Table scaling("Ring utilization vs scale (minimal degradation)");
+  scaling.set_header({"GPUs", "Utilization", "Time (ms)"});
+  for (int n : {8, 16, 32, 64, 128}) {
+    const auto r = simulate_ring_allreduce(n, big);
+    scaling.add_row({std::to_string(n), Table::pct(r.bus_utilization),
+                     Table::fmt(r.time_s * 1e3, 2)});
+  }
+  bench::emit(opt, "small_cluster_scaling", scaling);
+  return 0;
+}

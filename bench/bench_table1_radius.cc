@@ -1,0 +1,45 @@
+// Reproduces the architectural comparison of paper Table 1: the fault
+// explosion radius per HBD architecture - immediate bandwidth degradation
+// from a single node fault, plus the healthy-GPU loss after
+// re-orchestration (Monte-Carlo).
+#include "bench/bench_util.h"
+#include "bench/fault_bench_common.h"
+#include "src/topo/explosion_radius.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Table 1: fault explosion radius per architecture");
+
+  const int trials = opt.quick ? 40 : 200;
+  Rng rng(1);
+
+  Table table("Single-node-fault radius, TP-32 on 2,880 GPUs (4-GPU nodes)");
+  table.set_header({"Architecture", "Immediate degraded GPUs",
+                    "Realloc loss (mean)", "Realloc loss (worst)",
+                    "Paper radius"});
+  struct PaperRow {
+    const char* name;
+    const char* radius;
+  };
+  auto paper_radius = [](const std::string& name) -> const char* {
+    if (name.rfind("InfiniteHBD", 0) == 0) return "Node-level";
+    if (name.rfind("NVL", 0) == 0) return "Node-level (+switch-level)";
+    if (name == "Big-Switch") return "ideal";
+    if (name == "TPUv4") return "Cube-level (64)";
+    if (name == "SiP-Ring") return "HBD-level";
+    return "-";
+  };
+
+  for (const auto& arch : bench::make_archs()) {
+    const auto report = topo::measure_radius(*arch, 32, trials, rng);
+    table.add_row({report.architecture,
+                   std::to_string(report.immediate_degraded_gpus),
+                   Table::fmt(report.mean_reallocation_loss_gpus, 1),
+                   std::to_string(report.worst_reallocation_loss_gpus),
+                   paper_radius(report.architecture)});
+  }
+  bench::emit(opt, "table1_radius", table);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Table 2: optimal parallelism strategy and MFU for
+// Llama-3.1-405B (MHA-simplified) as GPU count sweeps 1k -> 128k, against
+// the TP-8-constrained baseline (NVLink-class HBD), and the improvement
+// ratio. Paper's headline trend: optimal TP grows 16 -> 64; the TP-8
+// baseline collapses at scale (3.37x improvement at 131k GPUs).
+#include "bench/bench_util.h"
+#include "src/llmsim/perf.h"
+
+using namespace ihbd;
+using namespace ihbd::llmsim;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Table 2: Llama-3.1-405B optimal parallelism & MFU");
+
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  job.global_batch = 2048;
+
+  Table table("Optimal strategy vs TP-8 baseline");
+  table.set_header({"GPU", "TP", "PP", "DP", "MFU", "MFU_TP-8", "Improve",
+                    "Paper MFU", "Paper TP"});
+  struct PaperRow {
+    int gpus;
+    double mfu;
+    int tp;
+  };
+  const PaperRow paper[] = {{1024, 0.5236, 16},  {4096, 0.4668, 16},
+                            {8192, 0.4247, 32},  {16384, 0.3756, 32},
+                            {32768, 0.3090, 32}, {65536, 0.2493, 64},
+                            {131072, 0.1851, 64}};
+  for (const auto& row : paper) {
+    const auto open = search_best_strategy(job, row.gpus);
+    const auto tp8 = search_best_strategy(job, row.gpus, /*tp_limit=*/8);
+    table.add_row({std::to_string(row.gpus), std::to_string(open.best.tp),
+                   std::to_string(open.best.pp), std::to_string(open.best.dp),
+                   Table::fmt(open.perf.mfu), Table::fmt(tp8.perf.mfu),
+                   Table::fmt(open.perf.mfu / tp8.perf.mfu),
+                   Table::fmt(row.mfu), std::to_string(row.tp)});
+  }
+  bench::emit(opt, "table2_llama_mfu", table);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces paper Table 3: communication load of TP (AllReduce) vs EP
+// (AllToAll) on a single MoE layer, and the k < n regime where EP is
+// cheaper.
+#include "bench/bench_util.h"
+#include "src/llmsim/model.h"
+
+using namespace ihbd;
+using namespace ihbd::llmsim;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Table 3: TP vs EP traffic load per MoE layer");
+
+  // GPT-MoE dimensions (Appendix B): b micro = 1 seq, s = 2048, h = 12288.
+  const double b = 1, s = 2048, h = 12288;
+  const int k = 2;
+
+  Table table("Bytes per GPU per layer (bf16 activations); EP = TP * k/n");
+  table.set_header({"Parallel size n", "TP AllReduce (MB)", "EP AllToAll (MB)",
+                    "EP/TP ratio", "k<n => EP cheaper"});
+  for (int n : {2, 4, 8, 16, 32}) {
+    const double tp = tp_allreduce_load(b, s, h, n);
+    const double ep = ep_alltoall_load(b, s, h, n, k);
+    table.add_row({std::to_string(n), Table::fmt(tp / 1e6, 2),
+                   Table::fmt(ep / 1e6, 2), Table::fmt(ep / tp, 3),
+                   k < n ? "yes" : "no"});
+  }
+  bench::emit(opt, "table3_traffic_load", table);
+  return 0;
+}

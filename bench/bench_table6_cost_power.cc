@@ -1,0 +1,46 @@
+// Reproduces paper Tables 6 and 8: interconnect cost and power per GPU and
+// per GBps, derived from the component-level bill of materials.
+#include "bench/bench_util.h"
+#include "src/cost/bom.h"
+
+using namespace ihbd;
+using namespace ihbd::cost;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_args(argc, argv);
+  bench::banner("Tables 6 & 8: interconnect cost and power");
+
+  const auto boms = paper_boms();
+
+  Table t8("Table 8: component BOM per architecture");
+  t8.set_header({"Architecture", "Component", "Qty", "Unit $", "Unit GBps",
+                 "Unit W"});
+  for (const auto& bom : boms) {
+    for (const auto& c : bom.components) {
+      t8.add_row({bom.name, c.name, Table::fmt(c.quantity, 0),
+                  Table::fmt(c.unit_cost_usd, 2),
+                  Table::fmt(c.unit_bandwidth_GBps, 0),
+                  Table::fmt(c.unit_power_w, 2)});
+    }
+  }
+  bench::emit(opt, "table8_bom", t8);
+
+  Table t6("Table 6: normalized interconnect cost ($) and power (W)");
+  t6.set_header({"Architecture", "Per-GPU Cost", "Per-GPU Watts",
+                 "Per-GBps Cost", "Per-GBps Watts"});
+  for (const auto& bom : boms) {
+    if (bom.name == "Alibaba HPN") continue;  // DCN reference, not in T6
+    t6.add_row({bom.name, Table::fmt(bom.cost_per_gpu(), 2),
+                Table::fmt(bom.watts_per_gpu(), 2),
+                Table::fmt(bom.cost_per_GBps(), 2),
+                Table::fmt(bom.watts_per_GBps(), 2)});
+  }
+  bench::emit(opt, "table6_cost_power", t6);
+
+  const double k2 = bom_by_name(boms, "InfiniteHBD(K=2)").cost_per_GBps();
+  std::printf("Headlines: InfiniteHBD(K=2) per-GBps cost is %.1f%% of "
+              "NVL-72 (paper 30.9%%) and %.1f%% of TPUv4 (paper 62.8%%).\n",
+              100.0 * k2 / bom_by_name(boms, "NVL-72").cost_per_GBps(),
+              100.0 * k2 / bom_by_name(boms, "TPUv4").cost_per_GBps());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the bench harness. Every bench binary regenerates one
+// table or figure of the paper: it prints the same rows/series the paper
+// reports and, with --csv <dir>, also writes machine-readable CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/csv.h"
+#include "src/common/table.h"
+
+namespace ihbd::bench {
+
+struct Options {
+  std::string csv_dir;  ///< empty = stdout only
+  bool quick = false;   ///< reduced trial counts (CI mode)
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      opt.csv_dir = argv[++i];
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    }
+  }
+  return opt;
+}
+
+inline void emit(const Options& opt, const std::string& name,
+                 const Table& table) {
+  table.print();
+  std::puts("");
+  if (!opt.csv_dir.empty()) write_csv(opt.csv_dir, name, table);
+}
+
+inline void banner(const std::string& what) {
+  std::printf("=== %s ===\n", what.c_str());
+}
+
+}  // namespace ihbd::bench

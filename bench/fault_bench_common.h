@@ -1,0 +1,42 @@
+// Shared setup for the fault-resilience benches (Figs. 13-16, 18, 20-23):
+// the paper's simulation cluster is 2,880 GPUs of 4-GPU nodes (the largest
+// multiple of 576 below the 3,200-GPU trace), replaying the 348-day
+// production trace normalized from 8-GPU to 4-GPU nodes (Appendix A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fault/generator.h"
+#include "src/topo/baselines.h"
+#include "src/topo/waste.h"
+
+namespace ihbd::bench {
+
+inline constexpr int kNodes4 = 720;   // 2,880 GPUs at 4 GPUs/node
+inline constexpr int kGpusPerNode = 4;
+inline constexpr int kClusterGpus = kNodes4 * kGpusPerNode;
+
+/// The 348-day production-calibrated trace, normalized to 4-GPU nodes and
+/// linearly remapped onto the 720-node simulation cluster.
+inline fault::FaultTrace make_sim_trace(bool quick = false) {
+  fault::TraceGenConfig cfg;  // 375 x 8-GPU nodes, 348 days
+  if (quick) cfg.duration_days = 60.0;
+  const auto trace8 = fault::generate_trace(cfg);
+  Rng rng(91);
+  return trace8.split_to_half_nodes(rng).remap_nodes(kNodes4);
+}
+
+/// Architecture set of §6.1 on the simulation cluster.
+inline std::vector<std::unique_ptr<topo::HbdArchitecture>> make_archs() {
+  return topo::make_paper_architectures(kNodes4, kGpusPerNode);
+}
+
+/// NVL-36 cannot host TP-64 at all; the paper omits it from those plots.
+inline bool arch_supports_tp(const topo::HbdArchitecture& arch, int tp) {
+  if (arch.name() == "NVL-36" && tp > 36) return false;
+  return true;
+}
+
+}  // namespace ihbd::bench

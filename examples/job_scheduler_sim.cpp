@@ -1,0 +1,60 @@
+// Example: multi-job cluster scheduling over a fault trace - the
+// end-to-end consequence of each HBD architecture's waste ratio: goodput,
+// per-job waiting and preemptions under identical fault conditions.
+//
+//   $ ./job_scheduler_sim [days]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.h"
+#include "src/core/scheduler.h"
+#include "src/fault/generator.h"
+#include "src/topo/baselines.h"
+#include "src/topo/khop_ring.h"
+
+using namespace ihbd;
+
+int main(int argc, char** argv) {
+  const double days = argc > 1 ? std::atof(argv[1]) : 90.0;
+
+  // 720 x 4-GPU nodes with a production-like fault process.
+  fault::TraceGenConfig cfg;
+  cfg.node_count = 360;
+  cfg.duration_days = days;
+  Rng rng(7);
+  const auto trace = fault::generate_trace(cfg).split_to_half_nodes(rng);
+
+  // A pretraining-heavy job mix that oversubscribes the cluster: one
+  // flagship job plus mid-size runs competing for the remainder.
+  std::vector<core::JobRequest> jobs{
+      {1, 32, 2048, days * 0.85},  // flagship pretrain
+      {2, 32, 512, days * 0.6},
+      {3, 16, 384, days * 0.5},
+      {4, 16, 256, days * 0.4},
+      {5, 32, 128, days * 0.3},
+  };
+
+  Table table("Job mix on " + std::to_string(trace.node_count() * 4) +
+              " GPUs over " + Table::fmt(days, 0) + " days");
+  table.set_header({"Architecture", "Goodput (GPU-days)", "Utilization",
+                    "Flagship waits (days)", "Flagship preemptions"});
+  topo::KHopRing k3(720, 4, 3);
+  topo::KHopRing k2(720, 4, 2);
+  topo::NvlSwitch nvl72(720, 4, 72);
+  topo::TpuV4 tpu(720, 4, 64);
+  topo::SipRing sip(720, 4);
+  const std::vector<const topo::HbdArchitecture*> archs{&k3, &k2, &nvl72,
+                                                        &tpu, &sip};
+  for (const topo::HbdArchitecture* arch : archs) {
+    const auto result = core::simulate_schedule(*arch, trace, jobs, 0.5);
+    table.add_row({arch->name(), Table::fmt(result.goodput_gpu_days, 0),
+                   Table::pct(result.utilization()),
+                   Table::fmt(result.outcomes[0].waiting_days, 1),
+                   std::to_string(result.outcomes[0].preemptions)});
+  }
+  table.print();
+  std::puts("\nInfiniteHBD's near-zero waste converts directly into "
+            "goodput: the flagship job rides out fault bursts that preempt "
+            "it on fragmented architectures.");
+  return 0;
+}

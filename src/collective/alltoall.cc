@@ -1,0 +1,130 @@
+#include "src/collective/alltoall.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::collective {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+AllToAllSimResult simulate_binary_exchange(int p, double msg_bytes) {
+  IHBD_EXPECTS(is_pow2(p));
+  IHBD_EXPECTS(msg_bytes >= 0.0);
+  AllToAllSimResult result;
+  if (p == 1) {
+    result.delivered_all = true;
+    return result;
+  }
+
+  // blocks[i] = set of (src, dst) blocks currently held by rank i.
+  std::vector<std::set<std::pair<int, int>>> blocks(
+      static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i)
+    for (int d = 0; d < p; ++d)
+      blocks[static_cast<std::size_t>(i)].insert({i, d});
+
+  int log2p = 0;
+  while ((1 << log2p) < p) ++log2p;
+
+  // Round k = 1..log2 p, partner r = i XOR 2^(log2 p - k); rank i hands
+  // over every held block whose destination sits on r's side of the
+  // current stride bit (Algorithm 6's m_send window).
+  for (int k = 1; k <= log2p; ++k) {
+    const int stride = 1 << (log2p - k);
+    double max_round_bytes = 0.0;
+    std::vector<std::set<std::pair<int, int>>> next = blocks;
+    for (int i = 0; i < p; ++i) {
+      const int r = i ^ stride;
+      std::set<std::pair<int, int>> to_send;
+      for (const auto& blk : blocks[static_cast<std::size_t>(i)]) {
+        if ((blk.second & stride) == (r & stride)) to_send.insert(blk);
+      }
+      for (const auto& blk : to_send) {
+        next[static_cast<std::size_t>(i)].erase(blk);
+        next[static_cast<std::size_t>(r)].insert(blk);
+      }
+      const double sent = static_cast<double>(to_send.size()) * msg_bytes;
+      result.bytes_sent_per_node =
+          std::max(result.bytes_sent_per_node, 0.0);  // accumulate below
+      max_round_bytes = std::max(max_round_bytes, sent);
+    }
+    blocks = std::move(next);
+    result.round_bytes.push_back(max_round_bytes);
+    ++result.rounds;
+  }
+
+  for (double b : result.round_bytes) result.bytes_sent_per_node += b;
+
+  // Verify: rank i must end with exactly the blocks destined to i, one
+  // from every source.
+  result.delivered_all = true;
+  for (int i = 0; i < p; ++i) {
+    const auto& held = blocks[static_cast<std::size_t>(i)];
+    if (static_cast<int>(held.size()) != p) result.delivered_all = false;
+    for (int m = 0; m < p; ++m)
+      if (held.find({m, i}) == held.end()) result.delivered_all = false;
+  }
+  return result;
+}
+
+AllToAllSimResult simulate_ring_alltoall(int p, double msg_bytes) {
+  IHBD_EXPECTS(p >= 1);
+  IHBD_EXPECTS(msg_bytes >= 0.0);
+  AllToAllSimResult result;
+  if (p == 1) {
+    result.delivered_all = true;
+    return result;
+  }
+
+  // blocks[i] holds (src, dst) blocks not yet at their destination.
+  std::vector<std::set<std::pair<int, int>>> in_flight(
+      static_cast<std::size_t>(p));
+  std::vector<std::set<std::pair<int, int>>> delivered(
+      static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i)
+    for (int d = 0; d < p; ++d) {
+      if (d == i) delivered[static_cast<std::size_t>(i)].insert({i, d});
+      else in_flight[static_cast<std::size_t>(i)].insert({i, d});
+    }
+
+  // Each round every rank forwards all in-flight blocks one hop clockwise.
+  for (int round = 0; round < p - 1; ++round) {
+    double max_round_bytes = 0.0;
+    std::vector<std::set<std::pair<int, int>>> next(
+        static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      const int nxt = (i + 1) % p;
+      const double sent =
+          static_cast<double>(in_flight[static_cast<std::size_t>(i)].size()) *
+          msg_bytes;
+      max_round_bytes = std::max(max_round_bytes, sent);
+      for (const auto& blk : in_flight[static_cast<std::size_t>(i)]) {
+        if (blk.second == nxt)
+          delivered[static_cast<std::size_t>(nxt)].insert(blk);
+        else
+          next[static_cast<std::size_t>(nxt)].insert(blk);
+      }
+    }
+    in_flight = std::move(next);
+    result.round_bytes.push_back(max_round_bytes);
+    ++result.rounds;
+  }
+
+  for (double b : result.round_bytes) result.bytes_sent_per_node += b;
+
+  result.delivered_all = true;
+  for (int i = 0; i < p; ++i) {
+    if (!in_flight[static_cast<std::size_t>(i)].empty())
+      result.delivered_all = false;
+    if (static_cast<int>(delivered[static_cast<std::size_t>(i)].size()) != p)
+      result.delivered_all = false;
+  }
+  return result;
+}
+
+}  // namespace ihbd::collective

@@ -1,0 +1,28 @@
+// Functional AllToAll simulations (paper Appendix G.2, Algorithm 6).
+//
+// These move actual (source, destination) data blocks between ranks and
+// verify delivery, in addition to counting the bytes each round moves -
+// the basis for the O(p log p) vs O(p^2) comparison of Appendix G.
+#pragma once
+
+#include <vector>
+
+namespace ihbd::collective {
+
+struct AllToAllSimResult {
+  int rounds = 0;
+  double bytes_sent_per_node = 0.0;  ///< total bytes each rank transmitted
+  std::vector<double> round_bytes;   ///< per-round bytes per rank (max)
+  bool delivered_all = false;        ///< every rank ended with every block
+};
+
+/// Binary-Exchange AllToAll over p ranks (p a power of two), msg_bytes per
+/// (src, dst) block: log2(p) rounds, rank i exchanging with i XOR 2^k.
+/// Tracks Msg and Commset exactly as Algorithm 6 and verifies delivery.
+AllToAllSimResult simulate_binary_exchange(int p, double msg_bytes);
+
+/// Ring AllToAll (no runtime switching): p-1 rounds of neighbor forwarding;
+/// round j moves every block still in flight one hop. O(p^2) volume.
+AllToAllSimResult simulate_ring_alltoall(int p, double msg_bytes);
+
+}  // namespace ihbd::collective

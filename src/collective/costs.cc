@@ -1,0 +1,72 @@
+#include "src/collective/costs.h"
+
+#include <cmath>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::collective {
+
+namespace {
+double xfer_time(double bytes, const LinkParams& link) {
+  return link.alpha_s +
+         bytes / (link.bandwidth_Bps * link.protocol_efficiency);
+}
+int ceil_log2(int v) {
+  int d = 0;
+  while ((1 << d) < v) ++d;
+  return d;
+}
+}  // namespace
+
+double ring_allreduce_time(int n, double bytes, const LinkParams& link) {
+  IHBD_EXPECTS(n >= 1 && bytes >= 0.0);
+  if (n == 1) return 0.0;
+  const double per_step = bytes / n;
+  return 2.0 * (n - 1) * xfer_time(per_step, link);
+}
+
+double allreduce_bus_utilization(int n, double bytes, double time_s,
+                                 double line_rate_Bps) {
+  IHBD_EXPECTS(n >= 1 && time_s > 0.0 && line_rate_Bps > 0.0);
+  const double busbw = 2.0 * (n - 1) / n * bytes / time_s;
+  return busbw / line_rate_Bps;
+}
+
+double ring_alltoall_time(int p, double msg_bytes, const LinkParams& link) {
+  IHBD_EXPECTS(p >= 1 && msg_bytes >= 0.0);
+  if (p == 1) return 0.0;
+  // Round j (j = 1..p-1): each rank forwards the data still travelling,
+  // (p - j) messages deep. Total = sum_j (alpha + (p-j) msg / bw).
+  double total = 0.0;
+  for (int j = 1; j <= p - 1; ++j)
+    total += xfer_time(static_cast<double>(p - j) * msg_bytes, link);
+  return total;
+}
+
+double binary_exchange_alltoall_time(int p, double msg_bytes,
+                                     const LinkParams& link,
+                                     double reconfig_s) {
+  IHBD_EXPECTS(p >= 1 && msg_bytes >= 0.0 && reconfig_s >= 0.0);
+  if (p == 1) return 0.0;
+  const int rounds = ceil_log2(p);
+  // Each round exchanges p*m/2 bytes per rank (Appendix G.2's
+  // T = ts log2 p + tw m p/2 log2 p), plus unoverlapped switching.
+  return rounds *
+         (xfer_time(p * msg_bytes / 2.0, link) + reconfig_s);
+}
+
+double bruck_alltoall_time(int p, double msg_bytes, const LinkParams& link) {
+  IHBD_EXPECTS(p >= 1 && msg_bytes >= 0.0);
+  if (p == 1) return 0.0;
+  const int rounds = ceil_log2(p);
+  return rounds * xfer_time(p * msg_bytes / 2.0, link);
+}
+
+double pairwise_alltoall_time(int p, double msg_bytes,
+                              const LinkParams& link) {
+  IHBD_EXPECTS(p >= 1 && msg_bytes >= 0.0);
+  if (p == 1) return 0.0;
+  return (p - 1) * xfer_time(msg_bytes, link);
+}
+
+}  // namespace ihbd::collective

@@ -1,0 +1,48 @@
+// Analytic cost models for the collectives the paper reasons about:
+// Ring AllReduce (the HBD's target primitive, bandwidth-optimal per
+// Patarasuk & Yuan), switch-based AllReduce, and the AllToAll family of
+// Appendix G (ring O(p^2), Bruck / Binary-Exchange O(p log p), pairwise).
+//
+// Conventions: times in seconds, sizes in bytes, bandwidth in bytes/s.
+// `alpha` is the per-transfer setup latency (the t_s of Appendix G),
+// including protocol overhead but not reconfiguration.
+#pragma once
+
+namespace ihbd::collective {
+
+/// Link/protocol parameters for analytic estimates.
+struct LinkParams {
+  double bandwidth_Bps = 100.0e9;  ///< per-direction link bandwidth
+  double alpha_s = 2.0e-6;         ///< per-transfer setup latency
+  double protocol_efficiency = 1.0;  ///< achievable fraction of line rate
+};
+
+/// Ring AllReduce over n ranks of a `bytes`-sized buffer:
+/// 2(n-1) steps, each moving bytes/n per link.
+double ring_allreduce_time(int n, double bytes, const LinkParams& link);
+
+/// Bus-bandwidth utilization of an AllReduce run: busbw / line rate, with
+/// busbw = 2 (n-1)/n * bytes / time (the NCCL convention).
+double allreduce_bus_utilization(int n, double bytes, double time_s,
+                                 double line_rate_Bps);
+
+/// Ring AllToAll without runtime switching (paper §7): each rank owns
+/// (p-1) * msg_bytes destined to the others; data is forwarded around the
+/// ring, total transported volume O(p^2) * msg.
+double ring_alltoall_time(int p, double msg_bytes, const LinkParams& link);
+
+/// Binary-Exchange AllToAll (Appendix G.2): log2(p) rounds, each moving
+/// p * msg_bytes / 2 per rank; add `reconfig_s` of unoverlapped OCSTrx
+/// switching per round (0 when fully overlapped with computation).
+double binary_exchange_alltoall_time(int p, double msg_bytes,
+                                     const LinkParams& link,
+                                     double reconfig_s = 0.0);
+
+/// Bruck AllToAll (reference; needs node-level loopback, which InfiniteHBD
+/// does not provide - included as the "ideal" comparator of §7).
+double bruck_alltoall_time(int p, double msg_bytes, const LinkParams& link);
+
+/// Pairwise-exchange AllToAll over a full mesh: p-1 direct rounds.
+double pairwise_alltoall_time(int p, double msg_bytes, const LinkParams& link);
+
+}  // namespace ihbd::collective

@@ -1,0 +1,156 @@
+#include "src/collective/ring_sim.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/collective/costs.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::collective {
+
+namespace {
+
+constexpr double kSwitchLegFactor = 0.47;  // shorter intra-chassis legs
+
+/// Per-link FIFO with serialization, driven by the event engine.
+struct Link {
+  double busy_until = 0.0;
+  std::deque<std::pair<int, int>> queue;  // (chunk id, hop index)
+};
+
+double payload_time(double bytes, double bw, double eff) {
+  return bytes / (bw * eff);
+}
+
+}  // namespace
+
+AllReduceResult simulate_ring_allreduce(int n, double bytes,
+                                        const RingSimParams& params) {
+  IHBD_EXPECTS(n >= 2 && bytes > 0.0);
+  // Each of the n segments is split into `pipeline_chunks` chunks; every
+  // chunk travels 2(n-1) hops around the ring (reduce-scatter + gather).
+  const int chunks_per_seg = params.pipeline_chunks;
+  const int total_chunks = n * chunks_per_seg;
+  const double chunk_bytes = bytes / total_chunks;
+  const int hops = 2 * (n - 1);
+  const double ser = payload_time(chunk_bytes, params.link_bandwidth_Bps,
+                                  params.protocol_efficiency) +
+                     params.chunk_overhead_s;
+
+  evsim::Engine engine;
+  std::vector<Link> links(static_cast<std::size_t>(n));
+  // chunk id c: segment c / chunks_per_seg originates at node (seg mod n).
+  std::vector<int> hops_done(static_cast<std::size_t>(total_chunks), 0);
+  std::vector<int> at_node(static_cast<std::size_t>(total_chunks));
+  for (int c = 0; c < total_chunks; ++c)
+    at_node[static_cast<std::size_t>(c)] = (c / chunks_per_seg) % n;
+
+  double finish = 0.0;
+
+  // Forward declaration via std::function-free recursion using a shared
+  // lambda holder (the engine owns copies of the closures).
+  struct Ctx {
+    evsim::Engine& engine;
+    std::vector<Link>& links;
+    std::vector<int>& hops_done;
+    std::vector<int>& at_node;
+    int n, hops;
+    double ser, hop_latency;
+    double* finish;
+  };
+  auto ctx = std::make_shared<Ctx>(Ctx{engine, links, hops_done, at_node, n,
+                                       hops, ser, params.hop_latency_s,
+                                       &finish});
+
+  // try_send(link): start the next queued transfer if the link is free.
+  auto try_send = std::make_shared<std::function<void(int)>>();
+  *try_send = [ctx, try_send](int link_id) {
+    Link& link = ctx->links[static_cast<std::size_t>(link_id)];
+    const double now = ctx->engine.now();
+    if (link.queue.empty() || link.busy_until > now) return;
+    const auto [chunk, hop] = link.queue.front();
+    link.queue.pop_front();
+    link.busy_until = now + ctx->ser;
+    const double arrival = link.busy_until + ctx->hop_latency;
+    // Link becomes free -> try the next queued chunk.
+    ctx->engine.schedule_at(link.busy_until,
+                            [try_send, link_id](evsim::Engine&) {
+                              (*try_send)(link_id);
+                            });
+    // Chunk arrives at the next node -> enqueue its next hop (if any).
+    ctx->engine.schedule_at(arrival, [ctx, try_send, chunk, hop,
+                                      link_id](evsim::Engine&) {
+      const int node = (link_id + 1) % ctx->n;
+      ctx->at_node[static_cast<std::size_t>(chunk)] = node;
+      ctx->hops_done[static_cast<std::size_t>(chunk)] = hop + 1;
+      *ctx->finish = std::max(*ctx->finish, ctx->engine.now());
+      if (hop + 1 < ctx->hops) {
+        ctx->links[static_cast<std::size_t>(node)].queue.emplace_back(chunk,
+                                                                      hop + 1);
+        (*try_send)(node);
+      }
+    });
+  };
+
+  // Seed: every chunk's first hop queued at its origin.
+  for (int c = 0; c < total_chunks; ++c) {
+    const int origin = at_node[static_cast<std::size_t>(c)];
+    links[static_cast<std::size_t>(origin)].queue.emplace_back(c, 0);
+  }
+  for (int i = 0; i < n; ++i) (*try_send)(i);
+  engine.run();
+
+  AllReduceResult result;
+  result.time_s = finish;
+  result.bus_utilization = allreduce_bus_utilization(
+      n, bytes, finish, params.link_bandwidth_Bps);
+  return result;
+}
+
+AllReduceResult simulate_switch_allreduce(int n, double bytes,
+                                          const RingSimParams& params) {
+  IHBD_EXPECTS(n >= 2 && bytes > 0.0);
+  // Reduce-scatter then all-gather through a non-blocking switch: each GPU
+  // sends (n-1)/n of the buffer per stage out of its single egress port,
+  // which is the serialization bottleneck. Chunked for pipelining; each
+  // transfer pays two legs plus the switch forwarding latency.
+  const double stage_bytes = bytes * (n - 1) / n;
+  const int chunks = params.pipeline_chunks * (n - 1);
+  const double chunk_bytes = stage_bytes / chunks;
+  const double ser = payload_time(chunk_bytes, params.link_bandwidth_Bps,
+                                  params.switch_protocol_efficiency) +
+                     params.chunk_overhead_s / (n - 1);
+  const double path_latency =
+      2.0 * kSwitchLegFactor * params.hop_latency_s + params.switch_latency_s;
+
+  // Egress serialization dominates and all GPUs are symmetric: the last
+  // chunk of stage 2 leaves after 2*chunks*ser and lands path_latency
+  // later. (The switch is non-blocking, so no cross-GPU queueing.)
+  const double finish = 2.0 * (chunks * ser + path_latency);
+
+  AllReduceResult result;
+  result.time_s = finish;
+  result.bus_utilization = allreduce_bus_utilization(
+      n, bytes, finish, params.link_bandwidth_Bps);
+  return result;
+}
+
+double direct_link_latency(double bytes, const RingSimParams& params) {
+  return params.hop_latency_s + params.chunk_overhead_s +
+         payload_time(bytes, params.link_bandwidth_Bps,
+                      params.protocol_efficiency);
+}
+
+double switch_link_latency(double bytes, const RingSimParams& params) {
+  return 2.0 * kSwitchLegFactor * params.hop_latency_s +
+         params.switch_latency_s + params.chunk_overhead_s +
+         payload_time(bytes, params.link_bandwidth_Bps,
+                      params.switch_protocol_efficiency);
+}
+
+}  // namespace ihbd::collective

@@ -1,0 +1,20 @@
+#include "src/common/csv.h"
+
+#include <filesystem>
+
+namespace ihbd {
+
+bool write_csv(const std::string& dir, const std::string& name,
+               const Table& table) {
+  if (dir.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (name + ".csv");
+  std::ofstream out(path);
+  if (!out) return false;
+  out << table.to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ihbd

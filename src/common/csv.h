@@ -1,0 +1,16 @@
+// Minimal CSV file writer used by benches (--csv <dir> mode).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace ihbd {
+
+/// Write a Table to `<dir>/<name>.csv`. Returns false (and leaves no file)
+/// if the directory is not writable. `dir` may be empty -> no-op, true.
+bool write_csv(const std::string& dir, const std::string& name,
+               const Table& table);
+
+}  // namespace ihbd

@@ -1,0 +1,25 @@
+// Exception types for recoverable errors (invalid configuration, infeasible
+// requests). Programmer errors use the contract macros in contracts.h.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ihbd {
+
+/// Thrown when a user-supplied configuration is invalid (e.g. a TP size that
+/// does not divide the node GPU count, a negative bandwidth).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a request is well-formed but cannot be satisfied by the
+/// current cluster state (e.g. a job larger than the healthy capacity).
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace ihbd

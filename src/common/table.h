@@ -1,0 +1,41 @@
+// Paper-style ASCII table rendering for the bench harness. Each bench prints
+// the same rows the paper's tables/figures report; Table handles alignment.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ihbd {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Set the header row. Resets column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; shorter rows are right-padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formatted cell helpers.
+  static std::string fmt(double v, int precision = 4);
+  static std::string pct(double ratio, int precision = 2);  ///< 0.5 -> "50.00%"
+
+  /// Render with box-drawing separators.
+  std::string to_string() const;
+  /// Render and write to stdout.
+  void print() const;
+  /// Render as CSV (header + rows, comma-separated, quoted when needed).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ihbd

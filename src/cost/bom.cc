@@ -1,0 +1,110 @@
+#include "src/cost/bom.h"
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::cost {
+
+double ArchitectureBom::total_cost_usd() const {
+  double total = 0.0;
+  for (const auto& c : components) total += c.total_cost();
+  return total;
+}
+
+double ArchitectureBom::total_power_w() const {
+  double total = 0.0;
+  for (const auto& c : components) total += c.total_power();
+  return total;
+}
+
+double ArchitectureBom::cost_per_gpu() const {
+  IHBD_EXPECTS(gpu_count > 0);
+  return total_cost_usd() / gpu_count;
+}
+
+double ArchitectureBom::watts_per_gpu() const {
+  IHBD_EXPECTS(gpu_count > 0);
+  return total_power_w() / gpu_count;
+}
+
+double ArchitectureBom::cost_per_GBps() const {
+  IHBD_EXPECTS(per_gpu_bandwidth_GBps > 0.0);
+  return cost_per_gpu() / per_gpu_bandwidth_GBps;
+}
+
+double ArchitectureBom::watts_per_GBps() const {
+  IHBD_EXPECTS(per_gpu_bandwidth_GBps > 0.0);
+  return watts_per_gpu() / per_gpu_bandwidth_GBps;
+}
+
+std::vector<ArchitectureBom> paper_boms() {
+  std::vector<ArchitectureBom> boms;
+
+  boms.push_back(ArchitectureBom{
+      "TPUv4", 4096, 300.0,
+      {{"OCS (Palomar)", 48, 80000.0, 6400.0, 108.0},
+       {"DAC Cable", 5120, 63.60, 50.0, 0.1},
+       {"Optical Module", 6144, 360.0, 50.0, 12.0},
+       {"Fiber", 6144, 6.80, 50.0, 0.0}}});
+
+  boms.push_back(ArchitectureBom{
+      "NVL-36", 36, 900.0,
+      {{"NVLink Switch", 9, 28000.0, 3600.0, 275.0},
+       {"DAC Cable", 2592, 35.60, 25.0, 0.1}}});
+
+  boms.push_back(ArchitectureBom{
+      "NVL-72", 72, 900.0,
+      {{"NVLink Switch", 18, 28000.0, 3600.0, 275.0},
+       {"DAC Cable", 5184, 35.60, 25.0, 0.1}}});
+
+  boms.push_back(ArchitectureBom{
+      "NVL-36x2", 72, 900.0,
+      {{"NVLink Switch", 36, 28000.0, 3600.0, 275.0},
+       {"DAC Cable", 6480, 35.60, 25.0, 0.1},
+       {"ACC Cable", 162, 320.0, 200.0, 2.5}}});
+
+  boms.push_back(ArchitectureBom{
+      "NVL-576", 576, 900.0,
+      {{"NVLink Switch", 432, 28000.0, 3600.0, 275.0},
+       {"DAC Cable", 41472, 35.60, 25.0, 0.1},
+       {"Optical Module", 4608, 850.0, 200.0, 25.0},
+       {"Fiber", 4608, 6.80, 200.0, 0.0}}});
+
+  boms.push_back(ArchitectureBom{
+      "Alibaba HPN", 16320, 50.0,
+      {{"EPS (51.2T)", 360, 14960.0, 6400.0, 3145.0},
+       {"DAC Cable", 32640, 35.60, 25.0, 0.1},
+       {"Optical Module", 28800, 360.0, 50.0, 12.0},
+       {"Fiber", 14400, 6.80, 50.0, 0.0}}});
+
+  boms.push_back(ArchitectureBom{
+      "InfiniteHBD(K=2)", 4, 800.0,
+      {{"DAC Cable (1.6T)", 4, 199.60, 200.0, 0.1},
+       {"OCSTrx", 16, 600.0, 100.0, 12.0},
+       {"Fiber", 16, 6.80, 100.0, 0.0}}});
+
+  boms.push_back(ArchitectureBom{
+      "InfiniteHBD(K=3)", 4, 800.0,
+      {{"DAC Cable (1.6T)", 2, 199.60, 200.0, 0.1},
+       {"OCSTrx", 24, 600.0, 100.0, 12.0},
+       {"Fiber", 24, 6.80, 100.0, 0.0}}});
+
+  return boms;
+}
+
+const ArchitectureBom& bom_by_name(const std::vector<ArchitectureBom>& boms,
+                                   const std::string& name) {
+  for (const auto& b : boms)
+    if (b.name == name) return b;
+  throw ConfigError("unknown BOM: " + name);
+}
+
+double aggregate_cost_usd(const ArchitectureBom& bom, int cluster_gpus,
+                          int wasted_gpus, int faulty_gpus,
+                          double gpu_cost_usd) {
+  IHBD_EXPECTS(cluster_gpus > 0 && wasted_gpus >= 0 && faulty_gpus >= 0);
+  const double interconnect = bom.cost_per_gpu() * cluster_gpus;
+  return gpu_cost_usd * (wasted_gpus + faulty_gpus) + interconnect;
+}
+
+}  // namespace ihbd::cost

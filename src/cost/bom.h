@@ -1,0 +1,54 @@
+// Interconnect cost & power model (paper §6.5, Tables 6 and 8, Fig. 17d).
+//
+// Table 8's bill of materials is encoded as data; Table 6's per-GPU /
+// per-GBps normalizations and the aggregate-cost model derive from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ihbd::cost {
+
+/// One interconnect component line of Table 8.
+struct Component {
+  std::string name;
+  double quantity = 0.0;
+  double unit_cost_usd = 0.0;
+  double unit_bandwidth_GBps = 0.0;
+  double unit_power_w = 0.0;
+
+  double total_cost() const { return quantity * unit_cost_usd; }
+  double total_power() const { return quantity * unit_power_w; }
+};
+
+/// A full architecture BOM (one section of Table 8).
+struct ArchitectureBom {
+  std::string name;
+  int gpu_count = 0;
+  double per_gpu_bandwidth_GBps = 0.0;
+  std::vector<Component> components;
+
+  double total_cost_usd() const;
+  double total_power_w() const;
+  double cost_per_gpu() const;       ///< Table 6 "Per-GPU Cost"
+  double watts_per_gpu() const;      ///< Table 6 "Per-GPU Watts"
+  double cost_per_GBps() const;      ///< Table 6 "Per-GBps Cost"
+  double watts_per_GBps() const;     ///< Table 6 "Per-GBps Watts"
+};
+
+/// The architectures of Table 8 (TPUv4, NVL-36/72/36x2/576, Alibaba HPN,
+/// InfiniteHBD K=2/K=3) with the paper's quantities and unit prices.
+std::vector<ArchitectureBom> paper_boms();
+
+/// Look up a BOM by name; throws ConfigError if absent.
+const ArchitectureBom& bom_by_name(const std::vector<ArchitectureBom>& boms,
+                                   const std::string& name);
+
+/// §6.5 aggregate cost: Cost_GPU x (N_wasted + N_faulty) + Cost_interconnect
+/// for a cluster of `cluster_gpus` built on `bom`'s per-GPU interconnect.
+/// Returned in USD.
+double aggregate_cost_usd(const ArchitectureBom& bom, int cluster_gpus,
+                          int wasted_gpus, int faulty_gpus,
+                          double gpu_cost_usd = 25000.0);
+
+}  // namespace ihbd::cost

@@ -1,0 +1,47 @@
+#include "src/dcn/fattree.h"
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::dcn {
+
+FatTree::FatTree(const FatTreeConfig& config) : config_(config) {
+  if (config.node_count <= 0 || config.nodes_per_tor <= 0 ||
+      config.tors_per_domain <= 0)
+    throw ConfigError("FatTree: all counts must be positive");
+  if (config.node_count % config.nodes_per_tor != 0)
+    throw ConfigError("FatTree: node_count must be a multiple of p");
+  if (tor_count() % config.tors_per_domain != 0)
+    throw ConfigError("FatTree: ToR count must be a multiple of "
+                      "tors_per_domain");
+}
+
+int FatTree::tor_count() const {
+  return config_.node_count / config_.nodes_per_tor;
+}
+
+int FatTree::domain_size_nodes() const {
+  return config_.nodes_per_tor * config_.tors_per_domain;
+}
+
+int FatTree::domain_count() const {
+  return config_.node_count / domain_size_nodes();
+}
+
+int FatTree::tor_of(int node) const {
+  IHBD_EXPECTS(node >= 0 && node < config_.node_count);
+  return node / config_.nodes_per_tor;
+}
+
+int FatTree::domain_of(int node) const {
+  return tor_of(node) / config_.tors_per_domain;
+}
+
+int FatTree::network_distance(int a, int b) const {
+  if (a == b) return 0;
+  if (same_tor(a, b)) return 1;
+  if (same_domain(a, b)) return 3;
+  return 5;
+}
+
+}  // namespace ihbd::dcn

@@ -1,0 +1,50 @@
+// Fat-Tree DCN model (paper §4.3 / Appendix D).
+//
+// Only the structure the orchestration algorithm cares about is modelled:
+// nodes grouped under ToR switches, ToRs grouped under Aggregation-Switch
+// domains, and network distance (1 = same node via NIC loop, 3 = same ToR,
+// 5 = same aggregation domain, 7 = core). InfiniteHBD main links connect
+// nodes at network distance 5 (one node per ToR along a sub-line).
+#pragma once
+
+#include <string>
+
+namespace ihbd::dcn {
+
+struct FatTreeConfig {
+  int node_count = 2048;    ///< total nodes (8192 GPUs at 4 GPUs/node)
+  int nodes_per_tor = 16;   ///< p in the paper's notation
+  int tors_per_domain = 8;  ///< aggregation domain spans d = p * this nodes
+};
+
+class FatTree {
+ public:
+  explicit FatTree(const FatTreeConfig& config);
+
+  int node_count() const { return config_.node_count; }
+  int nodes_per_tor() const { return config_.nodes_per_tor; }      ///< p
+  int tor_count() const;
+  int domain_size_nodes() const;                                   ///< d
+  int domain_count() const;
+
+  /// ToR switch id hosting `node`.
+  int tor_of(int node) const;
+  /// Aggregation-switch domain id hosting `node`.
+  int domain_of(int node) const;
+
+  bool same_tor(int a, int b) const { return tor_of(a) == tor_of(b); }
+  bool same_domain(int a, int b) const { return domain_of(a) == domain_of(b); }
+
+  /// Hop distance in the Fat-Tree: 3 within a ToR, 5 within a domain,
+  /// 7 across domains (node-NIC-switch round counting as in the paper's
+  /// "network distance of 3 (i.e., cross-ToR)" convention where ToR-local
+  /// is 1 and one aggregation layer adds 2).
+  int network_distance(int a, int b) const;
+
+  const FatTreeConfig& config() const { return config_; }
+
+ private:
+  FatTreeConfig config_;
+};
+
+}  // namespace ihbd::dcn

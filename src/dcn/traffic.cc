@@ -1,0 +1,122 @@
+#include "src/dcn/traffic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::dcn {
+
+int PlacementScheme::gpu_count(int gpus_per_node) const {
+  int nodes = 0;
+  for (const auto& g : groups) nodes += static_cast<int>(g.group.nodes.size());
+  return nodes * gpus_per_node;
+}
+
+namespace {
+
+/// Account one DP ring: volume and cross-ToR volume of its edges.
+/// Each ring edge connects same-rank nodes of adjacent groups; per edge the
+/// volume is gpus_per_node * per-GPU DCN volume (ring AllReduce sends the
+/// full per-GPU volume over each node's outgoing edge).
+void account_ring(const FatTree& fat_tree,
+                  const std::vector<const PlacedGroup*>& ring,
+                  int gpus_per_node, double dcn_vol_per_gpu,
+                  CrossTorStats& stats) {
+  if (ring.size() < 2) return;  // no DCN traffic for a singleton ring
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlacedGroup& a = *ring[i];
+    const PlacedGroup& b = *ring[(i + 1) % n];
+    // A 2-member "ring" has one physical link, not two.
+    if (n == 2 && i == 1) break;
+    const std::size_t ranks =
+        std::min(a.group.nodes.size(), b.group.nodes.size());
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const double vol = gpus_per_node * dcn_vol_per_gpu;
+      stats.dcn_volume += vol;
+      ++stats.dcn_edges;
+      if (!fat_tree.same_tor(a.group.nodes[r], b.group.nodes[r])) {
+        stats.cross_tor_volume += vol;
+        ++stats.cross_tor_edges;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CrossTorStats evaluate_cross_tor(const FatTree& fat_tree,
+                                 const PlacementScheme& placement,
+                                 int gpus_per_node, const TrafficModel& model,
+                                 int use_groups) {
+  IHBD_EXPECTS(gpus_per_node > 0);
+  CrossTorStats stats;
+  const int total = placement.group_count();
+  const int used = (use_groups <= 0 || use_groups > total) ? total : use_groups;
+
+  // Per-GPU volumes in relative units: DCN = 1, HBD = ratio.
+  const double dcn_vol_per_gpu = 1.0;
+  const double hbd_vol_per_gpu = model.tp_to_dcn_volume_ratio;
+
+  // Sort the used groups by their rank-to-ToR tuple so that ToR-matched
+  // groups become ring neighbors (see header).
+  struct Keyed {
+    std::vector<int> tor_tuple;
+    const PlacedGroup* group;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(static_cast<std::size_t>(used));
+  int used_gpus = 0;
+  for (int i = 0; i < used; ++i) {
+    const PlacedGroup& g = placement.groups[static_cast<std::size_t>(i)];
+    used_gpus += static_cast<int>(g.group.nodes.size()) * gpus_per_node;
+    Keyed k;
+    k.group = &g;
+    k.tor_tuple.reserve(g.group.nodes.size());
+    for (int node : g.group.nodes) k.tor_tuple.push_back(fat_tree.tor_of(node));
+    keyed.push_back(std::move(k));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.tor_tuple < b.tor_tuple;
+                   });
+
+  // HBD (TP) volume: every used GPU contributes; it never crosses the DCN.
+  stats.total_volume = used_gpus * hbd_vol_per_gpu;
+
+  // Bucket rings: groups with identical rank-ToR tuples ring together (the
+  // ToR-resident stage of a hierarchical DP/CP AllReduce - all edges
+  // intra-ToR by construction). Tuple-singletons have no ToR-local partner
+  // and are chained into rings of width p whose edges cross ToRs.
+  const int width = model.dp_ring_width > 0 ? model.dp_ring_width
+                                            : fat_tree.nodes_per_tor();
+  std::vector<const PlacedGroup*> singletons;
+  std::size_t i = 0;
+  while (i < keyed.size()) {
+    std::size_t j = i;
+    while (j < keyed.size() && keyed[j].tor_tuple == keyed[i].tor_tuple) ++j;
+    if (j - i >= 2) {
+      std::vector<const PlacedGroup*> ring;
+      for (std::size_t q = i; q < j; ++q) ring.push_back(keyed[q].group);
+      account_ring(fat_tree, ring, gpus_per_node, dcn_vol_per_gpu, stats);
+    } else {
+      singletons.push_back(keyed[i].group);
+    }
+    i = j;
+  }
+  for (std::size_t base = 0; base < singletons.size();
+       base += static_cast<std::size_t>(width)) {
+    std::vector<const PlacedGroup*> ring(
+        singletons.begin() + static_cast<std::ptrdiff_t>(base),
+        singletons.begin() +
+            static_cast<std::ptrdiff_t>(std::min(
+                base + static_cast<std::size_t>(width), singletons.size())));
+    account_ring(fat_tree, ring, gpus_per_node, dcn_vol_per_gpu, stats);
+  }
+
+  stats.total_volume += stats.dcn_volume;
+  return stats;
+}
+
+}  // namespace ihbd::dcn

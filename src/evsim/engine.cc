@@ -1,0 +1,41 @@
+#include "src/evsim/engine.h"
+
+#include "src/common/contracts.h"
+
+namespace ihbd::evsim {
+
+void Engine::schedule_at(SimTime at, EventFn fn) {
+  IHBD_EXPECTS(at >= now_);
+  queue_.push(Item{at, seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(SimTime delay, EventFn fn) {
+  IHBD_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty()) {
+    // Copy out; the callback may schedule new events (queue reallocation).
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++executed_;
+    item.fn(*this);
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++executed_;
+    item.fn(*this);
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace ihbd::evsim

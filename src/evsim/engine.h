@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// A minimal priority-queue scheduler over simulated seconds. Used by the
+// collective-communication simulator (§5.2 reproduction) and by the OCSTrx
+// reconfiguration state machine to model the 60-80 us switching latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ihbd::evsim {
+
+using SimTime = double;  ///< simulated seconds
+
+/// Event callback; runs at its scheduled time with the engine available for
+/// scheduling follow-up events.
+class Engine;
+using EventFn = std::function<void(Engine&)>;
+
+/// Priority-queue discrete-event engine. Events at equal times run in
+/// scheduling (FIFO) order, which keeps simulations deterministic.
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Current simulated time (seconds). 0 before the first event runs.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, EventFn fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule_in(SimTime delay, EventFn fn);
+
+  /// Run until the event queue drains (or `until` is reached if given).
+  /// Returns the time of the last executed event.
+  SimTime run();
+  SimTime run_until(SimTime until);
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+  /// Number of events still pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ihbd::evsim

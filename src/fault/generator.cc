@@ -1,0 +1,58 @@
+#include "src/fault/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace ihbd::fault {
+
+FaultTrace generate_trace(const TraceGenConfig& config) {
+  if (config.node_count <= 0) throw ConfigError("node_count must be > 0");
+  if (config.duration_days <= 0.0) throw ConfigError("duration must be > 0");
+  Rng rng(config.seed);
+  std::vector<FaultEvent> events;
+
+  // 1. Per-node baseline faults: Poisson arrivals per node.
+  for (int node = 0; node < config.node_count; ++node) {
+    double day = 0.0;
+    while (true) {
+      day += rng.exponential(config.node_fault_rate_per_day);
+      if (day >= config.duration_days) break;
+      const double repair =
+          rng.lognormal(config.repair_lognorm_mu, config.repair_lognorm_sigma);
+      events.push_back(FaultEvent{
+          node, day, std::min(day + repair, config.duration_days)});
+      day += repair;  // a node cannot re-fail while down
+    }
+  }
+
+  // 2. Cluster incidents: groups of nodes down simultaneously. Incident
+  // groups are contiguous node ranges (a failed ToR/PDU takes down a rack
+  // neighborhood), which also stresses the K-hop bypass realistically.
+  double day = 0.0;
+  while (true) {
+    day += rng.exponential(config.incident_rate_per_day);
+    if (day >= config.duration_days) break;
+    const double frac =
+        config.incident_frac_mean *
+        std::exp(rng.normal(0.0, config.incident_frac_sigma));
+    int size = std::max(
+        1, static_cast<int>(frac * static_cast<double>(config.node_count)));
+    size = std::min(size, config.node_count);
+    const double duration = rng.lognormal(config.incident_duration_mu,
+                                          config.incident_duration_sigma);
+    const int start_node = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(config.node_count)));
+    for (int k = 0; k < size; ++k) {
+      const int node = (start_node + k) % config.node_count;
+      events.push_back(FaultEvent{
+          node, day, std::min(day + duration, config.duration_days)});
+    }
+  }
+
+  return FaultTrace(config.node_count, config.duration_days,
+                    std::move(events));
+}
+
+}  // namespace ihbd::fault

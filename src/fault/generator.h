@@ -1,0 +1,56 @@
+// Synthetic production-like fault trace generator.
+//
+// Calibrated to the published statistics of the paper's 348-day production
+// trace (Appendix A / Fig. 18): mean faulty-8-GPU-node ratio 2.33%,
+// p50 1.67%, p99 7.22%. Two superimposed processes produce both the steady
+// baseline and the bursty right tail:
+//   1. independent per-node faults (Poisson arrivals, log-normal repair) -
+//      sets the p50 baseline;
+//   2. cluster-level incidents (switch/power events) that take down a
+//      random group of nodes simultaneously - sets the mean uplift and the
+//      heavy p99 tail.
+#pragma once
+
+#include <cstdint>
+
+#include "src/fault/trace.h"
+
+namespace ihbd::fault {
+
+struct TraceGenConfig {
+  int node_count = 375;          ///< ~3K GPUs at 8 GPUs/node
+  double duration_days = 348.0;  ///< paper's collection window
+
+  // --- per-node baseline process ---
+  /// Per-node fault arrival rate (faults/day). With mean repair below,
+  /// steady-state per-node unavailability = rate * repair ~= 1.67% (p50).
+  double node_fault_rate_per_day = 0.028;
+  /// Log-normal repair duration: median exp(mu) days, spread sigma.
+  double repair_lognorm_mu = -0.69;   ///< median ~0.50 days
+  double repair_lognorm_sigma = 0.55; ///< mean ~0.58 days
+
+  // --- cluster incident process ---
+  /// Cluster-level incident arrival rate (incidents/day).
+  double incident_rate_per_day = 0.16;
+  /// Incident size as a fraction of the cluster (log-normal around this).
+  double incident_frac_mean = 0.05;
+  double incident_frac_sigma = 0.45;  ///< log-space spread
+  /// Incident duration (log-normal, days).
+  double incident_duration_mu = -0.92;  ///< median ~0.40 days
+  double incident_duration_sigma = 0.50;
+
+  std::uint64_t seed = 2025;
+};
+
+/// Generate a synthetic trace. Deterministic for a given config (seed).
+FaultTrace generate_trace(const TraceGenConfig& config = {});
+
+/// The published statistics the generator is calibrated against.
+struct PaperTraceStats {
+  static constexpr double kMeanRatio = 0.0233;
+  static constexpr double kP50Ratio = 0.0167;
+  static constexpr double kP99Ratio = 0.0722;
+  static constexpr double kDurationDays = 348.0;
+};
+
+}  // namespace ihbd::fault

@@ -1,0 +1,120 @@
+#include "src/fault/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::fault {
+
+FaultTrace::FaultTrace(int node_count, double duration_days,
+                       std::vector<FaultEvent> events)
+    : node_count_(node_count), duration_days_(duration_days),
+      events_(std::move(events)) {
+  if (node_count <= 0) throw ConfigError("node_count must be positive");
+  if (duration_days <= 0.0) throw ConfigError("duration must be positive");
+  for (const auto& e : events_) {
+    if (e.node < 0 || e.node >= node_count)
+      throw ConfigError("fault event node out of range");
+    if (e.end_day < e.start_day) throw ConfigError("fault event ends early");
+  }
+  // Deterministic total order (ties broken by node, then end): keeps
+  // save/load round-trips and repeated runs bit-stable.
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.start_day, a.node, a.end_day) <
+                     std::tie(b.start_day, b.node, b.end_day);
+            });
+}
+
+std::vector<bool> FaultTrace::faulty_at(double day) const {
+  std::vector<bool> mask(static_cast<std::size_t>(node_count_), false);
+  // events_ sorted by start_day: stop scanning once start > day.
+  for (const auto& e : events_) {
+    if (e.start_day > day) break;
+    if (day < e.end_day) mask[static_cast<std::size_t>(e.node)] = true;
+  }
+  return mask;
+}
+
+int FaultTrace::faulty_count_at(double day) const {
+  const auto mask = faulty_at(day);
+  return static_cast<int>(std::count(mask.begin(), mask.end(), true));
+}
+
+TimeSeries FaultTrace::ratio_series(double step_days) const {
+  IHBD_EXPECTS(step_days > 0.0);
+  TimeSeries ts;
+  for (double day = 0.0; day < duration_days_; day += step_days) {
+    ts.push(day, static_cast<double>(faulty_count_at(day)) /
+                     static_cast<double>(node_count_));
+  }
+  return ts;
+}
+
+Summary FaultTrace::ratio_summary(double step_days) const {
+  return ratio_series(step_days).summarize_values();
+}
+
+double FaultTrace::mean_repair_days() const {
+  if (events_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : events_) total += e.duration();
+  return total / static_cast<double>(events_.size());
+}
+
+FaultTrace FaultTrace::split_to_half_nodes(Rng& rng,
+                                           double inherit_prob) const {
+  IHBD_EXPECTS(inherit_prob >= 0.0 && inherit_prob <= 1.0);
+  std::vector<FaultEvent> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) {
+    for (int half = 0; half < 2; ++half) {
+      if (rng.bernoulli(inherit_prob)) {
+        out.push_back(FaultEvent{e.node * 2 + half, e.start_day, e.end_day});
+      }
+    }
+  }
+  return FaultTrace(node_count_ * 2, duration_days_, std::move(out));
+}
+
+FaultTrace FaultTrace::remap_nodes(int new_node_count) const {
+  if (new_node_count <= 0 || new_node_count > node_count_)
+    throw ConfigError("remap_nodes: target must be in (0, node_count]");
+  std::vector<FaultEvent> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) {
+    // Linear map; events landing beyond the smaller cluster are dropped
+    // proportionally (keeps the per-node fault statistics unchanged).
+    if (e.node < new_node_count)
+      out.push_back(e);
+  }
+  return FaultTrace(new_node_count, duration_days_, std::move(out));
+}
+
+std::vector<bool> sample_fault_mask(int node_count, double ratio, Rng& rng) {
+  IHBD_EXPECTS(node_count > 0);
+  IHBD_EXPECTS(ratio >= 0.0 && ratio <= 1.0);
+  const int want = static_cast<int>(
+      std::lround(ratio * static_cast<double>(node_count)));
+  std::vector<int> ids(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) ids[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(ids);
+  std::vector<bool> mask(static_cast<std::size_t>(node_count), false);
+  for (int i = 0; i < want; ++i)
+    mask[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] = true;
+  return mask;
+}
+
+std::vector<bool> sample_fault_mask_iid(int node_count, double ratio,
+                                        Rng& rng) {
+  IHBD_EXPECTS(node_count > 0);
+  IHBD_EXPECTS(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<bool> mask(static_cast<std::size_t>(node_count), false);
+  for (auto&& m : mask) m = rng.bernoulli(ratio);
+  return mask;
+}
+
+}  // namespace ihbd::fault

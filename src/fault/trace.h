@@ -1,0 +1,82 @@
+// Fault traces (paper Appendix A).
+//
+// The paper's evaluation replays a production fault trace from a ~3K-GPU
+// cluster of 8-GPU nodes over 348 days: mean faulty-node ratio 2.33%,
+// p50 1.67%, p99 7.22%. The trace itself is not bundled here, so
+// generator.h synthesizes a trace calibrated to those statistics; this
+// header defines the trace representation, replay and the paper's exact
+// 8-GPU -> 4-GPU Bayes normalization.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace ihbd::fault {
+
+/// One node-fault interval: node `node` is down in [start_day, end_day).
+struct FaultEvent {
+  int node = 0;
+  double start_day = 0.0;
+  double end_day = 0.0;
+
+  double duration() const { return end_day - start_day; }
+};
+
+/// An immutable fault trace over a fixed node count and duration.
+class FaultTrace {
+ public:
+  FaultTrace(int node_count, double duration_days,
+             std::vector<FaultEvent> events);
+
+  int node_count() const { return node_count_; }
+  double duration_days() const { return duration_days_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Faulty-node mask at an instant. O(log E + active) via the sorted index.
+  std::vector<bool> faulty_at(double day) const;
+
+  /// Number of faulty nodes at an instant.
+  int faulty_count_at(double day) const;
+
+  /// Fault-node-ratio time series sampled every `step_days`.
+  TimeSeries ratio_series(double step_days = 1.0) const;
+
+  /// Summary of the sampled ratio series (mean/p50/p99 used for Fig. 18).
+  Summary ratio_summary(double step_days = 1.0) const;
+
+  /// Mean repair (fault) duration across events, in days. 0 if no events.
+  double mean_repair_days() const;
+
+  /// The paper's Appendix-A normalization: convert a trace over 8-GPU nodes
+  /// into a trace over 2x as many 4-GPU nodes. Each fault of 8-GPU node i
+  /// is inherited by 4-GPU nodes {2i, 2i+1} independently with probability
+  /// P(4-GPU fault | 8-GPU fault) = 50.21% (Bayes, from i.i.d. per-GPU
+  /// fault probability p = 0.29%).
+  FaultTrace split_to_half_nodes(Rng& rng,
+                                 double inherit_prob = 0.5021) const;
+
+  /// Rescale the trace onto a cluster with `new_node_count` nodes by
+  /// linearly mapping node ids (paper: "the simulator linearly maps the
+  /// fault trace onto different network architectures"). Requires
+  /// new_node_count <= node_count().
+  FaultTrace remap_nodes(int new_node_count) const;
+
+ private:
+  int node_count_;
+  double duration_days_;
+  std::vector<FaultEvent> events_;  // sorted by start_day
+};
+
+/// Draw an i.i.d. faulty-node mask with an *exact* number of faulty nodes:
+/// round(node_count * ratio) distinct nodes chosen uniformly. Used for the
+/// fault-ratio sweep figures (14, 17c, 22).
+std::vector<bool> sample_fault_mask(int node_count, double ratio, Rng& rng);
+
+/// Bernoulli variant: each node faulty independently with probability
+/// `ratio` (used by property tests against the analytic bound).
+std::vector<bool> sample_fault_mask_iid(int node_count, double ratio,
+                                        Rng& rng);
+
+}  // namespace ihbd::fault

@@ -1,0 +1,79 @@
+#include "src/fault/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace ihbd::fault {
+
+void save_trace_csv(const FaultTrace& trace, std::ostream& out) {
+  out.precision(17);  // lossless double round-trip
+  out << "# nodes=" << trace.node_count()
+      << " duration_days=" << trace.duration_days() << "\n";
+  out << "node,start_day,end_day\n";
+  for (const auto& e : trace.events())
+    out << e.node << ',' << e.start_day << ',' << e.end_day << '\n';
+}
+
+bool save_trace_csv(const FaultTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_trace_csv(trace, out);
+  return static_cast<bool>(out);
+}
+
+FaultTrace load_trace_csv(std::istream& in, int node_count,
+                          double duration_days) {
+  std::vector<FaultEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    // Skip a header row.
+    if (line.find("node") != std::string::npos &&
+        line.find_first_of("0123456789") == std::string::npos)
+      continue;
+    std::istringstream fields(line);
+    std::string cell;
+    FaultEvent e;
+    try {
+      if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
+      e.node = std::stoi(cell);
+      if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
+      e.start_day = std::stod(cell);
+      if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
+      e.end_day = std::stod(cell);
+    } catch (const std::exception&) {
+      throw ConfigError("trace CSV: malformed row at line " +
+                        std::to_string(line_no) + ": '" + line + "'");
+    }
+    events.push_back(e);
+  }
+
+  if (node_count <= 0) {
+    int max_node = -1;
+    for (const auto& e : events) max_node = std::max(max_node, e.node);
+    node_count = max_node + 1;
+    if (node_count <= 0)
+      throw ConfigError("trace CSV: empty trace needs explicit node_count");
+  }
+  if (duration_days <= 0.0) {
+    for (const auto& e : events)
+      duration_days = std::max(duration_days, e.end_day);
+    if (duration_days <= 0.0)
+      throw ConfigError("trace CSV: cannot infer duration");
+  }
+  return FaultTrace(node_count, duration_days, std::move(events));
+}
+
+FaultTrace load_trace_csv_file(const std::string& path, int node_count,
+                               double duration_days) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open trace file: " + path);
+  return load_trace_csv(in, node_count, duration_days);
+}
+
+}  // namespace ihbd::fault

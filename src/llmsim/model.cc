@@ -1,0 +1,79 @@
+#include "src/llmsim/model.h"
+
+#include <cmath>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::llmsim {
+
+double ModelConfig::param_count() const {
+  const double h = hidden;
+  const double attn = 4.0 * h * h;
+  const double mlp_dense = 2.0 * h * ffn_hidden;
+  const double moe_layers = layers * moe_layer_ratio;
+  const double dense_layers = layers - moe_layers;
+  const double mlp = dense_layers * mlp_dense +
+                     moe_layers * num_experts * mlp_dense;
+  const double emb = 2.0 * static_cast<double>(vocab) * h;
+  return layers * attn + mlp + emb;
+}
+
+double ModelConfig::active_param_count() const {
+  const double h = hidden;
+  const double attn = 4.0 * h * h;
+  const double mlp_dense = 2.0 * h * ffn_hidden;
+  const double moe_layers = layers * moe_layer_ratio;
+  const double dense_layers = layers - moe_layers;
+  const double mlp =
+      dense_layers * mlp_dense + moe_layers * top_k * mlp_dense;
+  const double emb = 2.0 * static_cast<double>(vocab) * h;
+  return layers * attn + mlp + emb;
+}
+
+double ModelConfig::train_flops_per_token() const {
+  const double fwd_matmul = 2.0 * active_param_count();
+  const double fwd_attn_scores = 4.0 * static_cast<double>(seq_len) * hidden *
+                                 layers;
+  return 3.0 * (fwd_matmul + fwd_attn_scores);
+}
+
+ModelConfig ModelConfig::llama31_405b_mha() {
+  ModelConfig m;
+  m.name = "Llama-3.1-405B (MHA)";
+  m.layers = 126;
+  m.hidden = 16384;
+  m.ffn_hidden = 4 * 16384;
+  m.heads = 128;
+  m.vocab = 128256;
+  m.seq_len = 4096;
+  return m;
+}
+
+ModelConfig ModelConfig::gpt_moe_1t() {
+  ModelConfig m;
+  m.name = "GPT-MoE 1.1T";
+  m.layers = 192;
+  m.hidden = 12288;
+  m.ffn_hidden = 49152;
+  m.heads = 128;
+  m.vocab = 64000;
+  m.seq_len = 2048;
+  m.num_experts = 8;
+  m.top_k = 2;
+  m.moe_layer_ratio = 0.5;
+  return m;
+}
+
+double tp_allreduce_load(double b, double s, double h, int n,
+                         double elem_bytes) {
+  IHBD_EXPECTS(n >= 1);
+  return 2.0 * b * s * h * elem_bytes * (n - 1) / n;
+}
+
+double ep_alltoall_load(double b, double s, double h, int n, int k,
+                        double elem_bytes) {
+  IHBD_EXPECTS(n >= 1 && k >= 1);
+  return 2.0 * b * s * h * elem_bytes * (n - 1) / n * k / n;
+}
+
+}  // namespace ihbd::llmsim

@@ -1,0 +1,49 @@
+// Transformer model configurations and analytic FLOPs/parameter/traffic
+// accounting (paper §2.3, §6.3, Appendix B).
+#pragma once
+
+#include <string>
+
+namespace ihbd::llmsim {
+
+/// A (possibly MoE) decoder-only transformer.
+struct ModelConfig {
+  std::string name;
+  int layers = 0;
+  int hidden = 0;       ///< model (embedding) dimension h
+  int ffn_hidden = 0;   ///< MLP inner dimension
+  int heads = 0;
+  int vocab = 0;
+  int seq_len = 0;      ///< training sequence length s
+
+  // MoE (num_experts == 1 -> dense)
+  int num_experts = 1;
+  int top_k = 1;
+  double moe_layer_ratio = 0.0;  ///< fraction of layers that are MoE
+
+  /// Total parameter count (MHA attention 4h^2, 2-matrix MLP, untied
+  /// embeddings; MoE layers replicate the MLP per expert).
+  double param_count() const;
+
+  /// Parameters activated per token (MoE: top_k experts only).
+  double active_param_count() const;
+
+  /// Training FLOPs per token (fwd+bwd = 3x fwd; fwd = 2*active params
+  /// + attention-score term 4*s*h per layer).
+  double train_flops_per_token() const;
+
+  /// The paper's Llama-3.1-405B with GQA simplified to MHA (§6.3 footnote).
+  static ModelConfig llama31_405b_mha();
+  /// The paper's GPT-MoE 1.1T (Appendix B).
+  static ModelConfig gpt_moe_1t();
+};
+
+/// Table 3: communication load of TP vs EP on a single MoE layer, bytes
+/// (b: batch in sequences, s: seq length, h: hidden, n: parallel size,
+/// k: router top-k, elem_bytes: activation element size).
+double tp_allreduce_load(double b, double s, double h, int n,
+                         double elem_bytes = 2.0);
+double ep_alltoall_load(double b, double s, double h, int n, int k,
+                        double elem_bytes = 2.0);
+
+}  // namespace ihbd::llmsim

@@ -1,0 +1,200 @@
+#include "src/llmsim/perf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::llmsim {
+
+std::string Parallelism::to_string() const {
+  std::ostringstream os;
+  os << "TP" << tp << "/PP" << pp << "/DP" << dp;
+  if (ep > 1) os << "/EP" << ep;
+  return os.str();
+}
+
+namespace {
+
+/// Ring AllReduce wall time for a `bytes` buffer over n ranks: each rank
+/// sends 2 (n-1)/n * bytes on its egress link.
+double ring_allreduce_s(int n, double bytes, double bw_Bps, double eff) {
+  if (n <= 1) return 0.0;
+  return 2.0 * (n - 1) / n * bytes / (bw_Bps * eff);
+}
+
+/// Thin-GEMM efficiency: sustained fraction of peak as a function of the
+/// per-GPU sharded column dimension (NVIDIA matmul-background behaviour:
+/// efficiency falls once tiles get narrow).
+double gemm_efficiency(double shard_cols, const PerfModelParams& p) {
+  return p.gemm_peak_fraction * shard_cols /
+         (shard_cols + p.gemm_shard_constant);
+}
+
+/// Additional small-M penalty for per-expert GEMMs (tokens per expert).
+double moe_m_efficiency(double tokens_per_expert, const PerfModelParams& p) {
+  return tokens_per_expert / (tokens_per_expert + p.moe_gemm_m_constant);
+}
+
+}  // namespace
+
+PerfResult simulate_training(const TrainJob& job, const Parallelism& par,
+                             const GpuSpec& gpu,
+                             const PerfModelParams& params) {
+  PerfResult r;
+  const ModelConfig& m = job.model;
+  auto reject = [&](const std::string& why) {
+    r.feasible = false;
+    r.infeasible_why = why;
+    return r;
+  };
+
+  // ---- structural feasibility ------------------------------------------
+  if (par.tp < 1 || par.pp < 1 || par.dp < 1 || par.ep < 1 ||
+      par.vpp < 1 || par.micro_batch < 1)
+    return reject("non-positive parallelism degree");
+  if (m.hidden % par.tp != 0 || m.ffn_hidden % par.tp != 0 ||
+      m.heads % par.tp != 0)
+    return reject("TP does not divide model dimensions");
+  // Stage imbalance from non-divisible layer counts is idealized away, as
+  // in the paper's simulator (Table 2 pairs 126 layers with PP 4/8/16).
+  if (par.pp > m.layers) return reject("more pipeline stages than layers");
+  if (job.global_batch % (par.dp * par.micro_batch) != 0)
+    return reject("global batch not divisible by DP * micro-batch");
+  if (par.ep > 1) {
+    if (m.num_experts % par.ep != 0) return reject("EP does not divide experts");
+    if (par.dp % par.ep != 0) return reject("EP must divide DP");
+  }
+  const int n_micro = job.global_batch / (par.dp * par.micro_batch);
+
+  // ---- memory model (weights bf16 replicated across DP; grads + Adam
+  // states sharded over DP a la ZeRO-1/2: 2 + 16/dp bytes per parameter) --
+  const double moe_params =
+      m.layers * m.moe_layer_ratio * m.num_experts * 2.0 *
+      static_cast<double>(m.hidden) * m.ffn_hidden;
+  const double dense_params = m.param_count() - moe_params;
+  const double params_per_gpu =
+      dense_params / (par.tp * par.pp) +
+      moe_params / (par.tp * par.pp * par.ep);
+  const double bytes_per_param = 2.0 + 16.0 / par.dp;
+  // Activations: 1F1B keeps up to pp microbatches in flight per stage =>
+  // whole-model activations resident per GPU. ~16 bytes per element with
+  // selective recompute, sharded by TP.
+  const double act_bytes = static_cast<double>(m.layers) * m.seq_len *
+                           par.micro_batch * m.hidden * 16.0 / par.tp;
+  r.memory_bytes = params_per_gpu * bytes_per_param + act_bytes;
+  if (r.memory_bytes > 0.94 * gpu.memory_bytes)
+    return reject("exceeds GPU memory");
+
+  // ---- compute time -----------------------------------------------------
+  const double tokens = static_cast<double>(job.global_batch) * m.seq_len;
+  const double total_flops = m.train_flops_per_token() * tokens;
+  const double cluster_peak = static_cast<double>(par.gpus()) * gpu.peak_flops;
+
+  // Split FLOPs into dense (attention + dense MLP + embeddings + scores)
+  // and MoE-expert parts; the latter takes the small-M penalty and - when
+  // EP shards experts - the imbalance straggler factor max = 2/(2 - coef).
+  const double moe_active_flops_per_token =
+      3.0 * 2.0 *
+      (m.layers * m.moe_layer_ratio * m.top_k * 2.0 *
+       static_cast<double>(m.hidden) * m.ffn_hidden);
+  const double moe_flops = moe_active_flops_per_token * tokens;
+  const double dense_flops = total_flops - moe_flops;
+
+  const double shard_cols = static_cast<double>(m.hidden) / par.tp;
+  const double eff_dense = gemm_efficiency(shard_cols, params);
+  // Tokens per expert GEMM per microbatch: routed share, aggregated across
+  // the EP group.
+  const double tokens_per_expert =
+      static_cast<double>(par.micro_batch) * m.seq_len * m.top_k * par.ep /
+      std::max(1, m.num_experts);
+  double eff_moe = eff_dense;
+  double straggler = 1.0;
+  if (m.num_experts > 1) {
+    eff_moe = eff_dense * moe_m_efficiency(tokens_per_expert, params);
+    if (par.ep > 1) straggler = 2.0 / (2.0 - job.expert_imbalance);
+  }
+  r.compute_time_s = dense_flops / (cluster_peak * eff_dense) +
+                     moe_flops * straggler / (cluster_peak * eff_moe);
+
+  // ---- TP communication (4 ring AllReduces per layer per microbatch of
+  // b_micro * s * h activations, partially overlapped) -------------------
+  const double act_ar_bytes = static_cast<double>(par.micro_batch) *
+                              m.seq_len * m.hidden * 2.0;
+  const double tp_per_layer =
+      4.0 * ring_allreduce_s(par.tp, act_ar_bytes, gpu.hbd_bw_Bps,
+                             gpu.hbd_efficiency);
+  const double layers_per_gpu = static_cast<double>(m.layers) / par.pp;
+  r.tp_comm_time_s = params.tp_comm_unoverlap * n_micro * layers_per_gpu *
+                     tp_per_layer;
+
+  // ---- EP communication (AllToAll per MoE layer; on the K-hop ring
+  // without fast switching this pays the O(p^2)/p = p/2 forwarding
+  // penalty, per the paper's §7 discussion) -------------------------------
+  r.ep_comm_time_s = 0.0;
+  if (par.ep > 1 && m.num_experts > 1) {
+    const double a2a_fwd = ep_alltoall_load(
+        par.micro_batch, m.seq_len, m.hidden, par.ep, m.top_k);
+    const double ring_penalty = std::max(1.0, par.ep / 2.0);
+    const double per_layer =
+        2.0 * a2a_fwd * ring_penalty / (gpu.hbd_bw_Bps * gpu.hbd_efficiency);
+    const double moe_layers_per_gpu =
+        m.layers * m.moe_layer_ratio / par.pp;
+    r.ep_comm_time_s = n_micro * moe_layers_per_gpu * per_layer;
+  }
+
+  // ---- pipeline bubble ---------------------------------------------------
+  const double eff_stages = static_cast<double>(par.pp - 1) / par.vpp;
+  r.bubble_fraction = eff_stages / (n_micro + eff_stages);
+
+  // ---- DP gradient synchronization on the DCN ---------------------------
+  const double grad_bytes = params_per_gpu * 4.0;
+  r.dp_comm_time_s =
+      params.dp_comm_unoverlap *
+      ring_allreduce_s(par.dp, grad_bytes, gpu.dcn_bw_Bps,
+                       gpu.dcn_efficiency);
+
+  // ---- assembled iteration time and MFU ---------------------------------
+  const double busy = r.compute_time_s + r.tp_comm_time_s + r.ep_comm_time_s;
+  r.iter_time_s = busy / (1.0 - r.bubble_fraction) + r.dp_comm_time_s;
+  r.mfu = total_flops / (r.iter_time_s * cluster_peak);
+  r.feasible = true;
+  return r;
+}
+
+SearchResult search_best_strategy(const TrainJob& job, int gpus,
+                                  int tp_limit, const GpuSpec& gpu,
+                                  const PerfModelParams& params) {
+  IHBD_EXPECTS(gpus >= 1);
+  SearchResult best;
+  best.perf.mfu = -1.0;
+  const int max_tp = tp_limit > 0 ? tp_limit : 128;
+  const bool moe = job.model.num_experts > 1;
+  for (int tp = 1; tp <= max_tp; tp *= 2) {
+    for (int pp : {1, 2, 4, 8, 16}) {
+      if (gpus % (tp * pp) != 0) continue;
+      const int dp = gpus / (tp * pp);
+      if (dp < 1 || dp > 1024 || (dp & (dp - 1)) != 0) continue;
+      for (int ep : {1, 2, 4, 8}) {
+        if (ep > 1 && !moe) break;
+        Parallelism par;
+        par.tp = tp;
+        par.pp = pp;
+        par.dp = dp;
+        par.ep = ep;
+        par.vpp = moe ? 3 : 1;
+        par.micro_batch = 1;
+        if (job.global_batch % (dp * par.micro_batch) != 0) continue;
+        const PerfResult perf = simulate_training(job, par, gpu, params);
+        if (perf.feasible && perf.mfu > best.perf.mfu) {
+          best.best = par;
+          best.perf = perf;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ihbd::llmsim

@@ -1,0 +1,93 @@
+// The LLM training performance simulator (paper §6.3's "in-house LLM
+// training simulator"): an analytic iteration-time model over a parallelism
+// strategy, producing MFU. Models:
+//   - GEMM efficiency shrinking as TP splits matrices thinner (the paper's
+//     "increasing parallelism splits GEMMs into smaller, less efficient
+//     tasks" [NVIDIA matmul guide]),
+//   - TP Ring-AllReduce time on the HBD (partially overlapped),
+//   - pipeline bubble with virtual pipeline stages,
+//   - DP gradient AllReduce on the DCN (partially overlapped),
+//   - EP AllToAll cost and the expert-imbalance straggler factor
+//     (max load = 2/(2 - coef) x mean for (max-min)/max = coef),
+//   - a device memory feasibility check (ZeRO-1 optimizer sharding).
+#pragma once
+
+#include <string>
+
+#include "src/llmsim/model.h"
+
+namespace ihbd::llmsim {
+
+/// GPU + fabric characteristics (defaults: H100 + InfiniteHBD + CX-7 DCN).
+struct GpuSpec {
+  double peak_flops = 989e12;          ///< H100 BF16 dense
+  double memory_bytes = 80.0 * (1ull << 30);
+  double hbd_bw_Bps = 400e9;   ///< per-direction ring bandwidth (6.4 Tbps
+                               ///< bidirectional per GPU -> 3.2 Tbps/dir)
+  double dcn_bw_Bps = 50e9;    ///< ConnectX-7 400 Gbps
+  double hbd_efficiency = 0.80;
+  double dcn_efficiency = 0.80;
+};
+
+/// Calibration constants of the performance model.
+struct PerfModelParams {
+  double gemm_peak_fraction = 0.70;   ///< best-case sustained GEMM fraction
+  double gemm_shard_constant = 24.0;  ///< thin-GEMM penalty half-point (cols)
+  double moe_gemm_m_constant = 32.0;  ///< small-M penalty for expert GEMMs
+  double tp_comm_unoverlap = 0.40;    ///< fraction of TP AllReduce exposed
+  double dp_comm_unoverlap = 0.10;    ///< fraction of DP AllReduce exposed
+};
+
+/// A 4D parallelism strategy.
+struct Parallelism {
+  int tp = 1;
+  int pp = 1;
+  int dp = 1;
+  int ep = 1;
+  int vpp = 1;          ///< virtual pipeline stages
+  int micro_batch = 1;  ///< sequences per microbatch
+
+  int gpus() const { return tp * pp * dp; }
+  std::string to_string() const;
+};
+
+/// Training job setup.
+struct TrainJob {
+  ModelConfig model;
+  int global_batch = 2048;        ///< sequences
+  double expert_imbalance = 0.0;  ///< (max-min)/max token skew across experts
+};
+
+/// Simulation output for one strategy.
+struct PerfResult {
+  bool feasible = false;       ///< fits memory and divisibility constraints
+  std::string infeasible_why;
+  double iter_time_s = 0.0;
+  double mfu = 0.0;
+  double compute_time_s = 0.0;  ///< per-iteration busy compute (no bubble)
+  double tp_comm_time_s = 0.0;  ///< exposed TP AllReduce time
+  double ep_comm_time_s = 0.0;  ///< exposed EP AllToAll time
+  double dp_comm_time_s = 0.0;  ///< exposed DP AllReduce time
+  double bubble_fraction = 0.0;
+  double memory_bytes = 0.0;    ///< per-GPU footprint
+};
+
+/// Simulate one (job, strategy) pair on `gpu`.
+PerfResult simulate_training(const TrainJob& job, const Parallelism& par,
+                             const GpuSpec& gpu = {},
+                             const PerfModelParams& params = {});
+
+/// Grid-search the paper's strategy space (§6.3 footnote: TP in powers of
+/// two up to `max_tp` (128), PP in {1,2,4,8,16}, DP in powers of two, EP in
+/// {1,2,4,8} for MoE) for the best-MFU strategy on `gpus` GPUs.
+/// `tp_limit` restricts TP (e.g. 8 for the MFU_TP-8 baseline column);
+/// 0 = unrestricted.
+struct SearchResult {
+  Parallelism best;
+  PerfResult perf;
+};
+SearchResult search_best_strategy(const TrainJob& job, int gpus,
+                                  int tp_limit = 0, const GpuSpec& gpu = {},
+                                  const PerfModelParams& params = {});
+
+}  // namespace ihbd::llmsim

@@ -1,0 +1,78 @@
+#include "src/topo/alltoall_topology.h"
+
+#include <cmath>
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::topo {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+int ilog2(int v) {
+  int d = 0;
+  while ((1 << d) < v) ++d;
+  return d;
+}
+}  // namespace
+
+BinaryHopTopology::BinaryHopTopology(int node_count, int gpus_per_node,
+                                     int bundles)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node),
+      bundles_(bundles) {
+  if (node_count < 2) throw ConfigError("need >= 2 nodes");
+  if (gpus_per_node < 1) throw ConfigError("GPUs per node must be >= 1");
+  if (bundles < 1) throw ConfigError("bundles must be >= 1");
+  if ((1 << (bundles - 1)) * 2 > node_count)
+    throw ConfigError("largest hop distance must fit the ring");
+}
+
+int BinaryHopTopology::ring_distance(int a, int b) const {
+  IHBD_EXPECTS(a >= 0 && a < node_count_ && b >= 0 && b < node_count_);
+  int d = std::abs(a - b);
+  return std::min(d, node_count_ - d);
+}
+
+bool BinaryHopTopology::connected(int a, int b) const {
+  const int d = ring_distance(a, b);
+  return is_pow2(d) && d <= (1 << (bundles_ - 1));
+}
+
+bool BinaryHopTopology::coupling_ok(int tp_size_gpus, int ep_size) const {
+  IHBD_EXPECTS(tp_size_gpus > 0 && ep_size > 0);
+  return tp_size_gpus * ep_size <= gpus_per_node_ * (1 << bundles_);
+}
+
+bool BinaryHopTopology::supports_binary_exchange(int base, int p) const {
+  if (!is_pow2(p) || p > max_ep_group_nodes()) return false;
+  if (base % p != 0 || base + p > node_count_) return false;
+  for (int i = 0; i < p; ++i) {
+    for (int k = 0; (1 << k) < p; ++k) {
+      const int partner = i ^ (1 << k);
+      if (!connected(base + i, base + partner)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::pair<int, int>>>
+BinaryHopTopology::binary_exchange_schedule(int base, int p) const {
+  if (!supports_binary_exchange(base, p))
+    throw InfeasibleError("group cannot run Binary Exchange on this wiring");
+  const int rounds = ilog2(p);
+  std::vector<std::vector<std::pair<int, int>>> schedule;
+  schedule.reserve(static_cast<std::size_t>(rounds));
+  // Round k = 1..log2(p): partner = i XOR 2^(log2 p - k)  (Algorithm 6).
+  for (int k = 1; k <= rounds; ++k) {
+    const int stride = 1 << (rounds - k);
+    std::vector<std::pair<int, int>> round;
+    for (int i = 0; i < p; ++i) {
+      const int j = i ^ stride;
+      if (i < j) round.emplace_back(base + i, base + j);
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+}  // namespace ihbd::topo

@@ -1,0 +1,63 @@
+// AllToAll-oriented InfiniteHBD wiring variant (paper Appendix G.3).
+//
+// Instead of connecting each node to neighbors at distances 1..K, backup
+// lines are rewired to distances 1, 2, 4, ..., 2^(B-1) (B = OCSTrx bundles
+// per node). Node i in a group then reaches exactly the partners the
+// Binary-Exchange AllToAll algorithm needs (i XOR 2^k), enabling
+// O(p log p) EP AllToAll with OCSTrx fast switching between rounds.
+//
+// The trade-off the paper discusses: TP and EP sizes couple through the
+// limited bundle count - TPsize x EPsize <= R * 2^B (64 for a 4-GPU node
+// with 4 bundles; 2048 for an 8-GPU node with 8 bundles).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/topo/hbd.h"
+
+namespace ihbd::topo {
+
+class BinaryHopTopology {
+ public:
+  /// `bundles` = B OCSTrx bundles per node, wired at hop distances
+  /// +/- 2^0 .. 2^(B-1) on the node ring.
+  BinaryHopTopology(int node_count, int gpus_per_node, int bundles);
+
+  int node_count() const { return node_count_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int bundles() const { return bundles_; }
+
+  /// Direct OCSTrx link between a and b? (ring distance a power of two
+  /// <= 2^(B-1)).
+  bool connected(int a, int b) const;
+
+  /// Hop distance on the node ring.
+  int ring_distance(int a, int b) const;
+
+  /// Largest EP group (in nodes) the wiring supports for Binary Exchange:
+  /// 2^B (partner distance reaches p/2).
+  int max_ep_group_nodes() const { return 1 << bundles_; }
+
+  /// The paper's coupling constraint: TPsize x EPsize <= R * 2^B.
+  /// TP size in GPUs, EP size in ranks (one rank per TP group).
+  bool coupling_ok(int tp_size_gpus, int ep_size) const;
+
+  /// True iff the aligned node group [base, base + p) can run Binary
+  /// Exchange: p a power of two <= 2^B, base aligned to p, all partner
+  /// links present.
+  bool supports_binary_exchange(int base, int p) const;
+
+  /// The Binary Exchange communication schedule for group [base, base+p):
+  /// one vector per round k = 1..log2(p), each containing the (i, i XOR
+  /// 2^(log2 p - k)) node-id pairs (each unordered pair listed once).
+  std::vector<std::vector<std::pair<int, int>>> binary_exchange_schedule(
+      int base, int p) const;
+
+ private:
+  int node_count_;
+  int gpus_per_node_;
+  int bundles_;
+};
+
+}  // namespace ihbd::topo

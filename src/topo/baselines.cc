@@ -1,0 +1,206 @@
+#include "src/topo/baselines.h"
+
+#include <algorithm>
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+#include "src/topo/khop_ring.h"
+
+namespace ihbd::topo {
+
+namespace {
+
+/// Tile `healthy_nodes` (already restricted to one pool that can form rings
+/// freely) into groups of m nodes; update allocation counters.
+void tile_pool(const std::vector<int>& healthy_nodes, int m,
+               int gpus_per_node, Allocation& result) {
+  const int len = static_cast<int>(healthy_nodes.size());
+  const int groups_here = len / m;
+  for (int g = 0; g < groups_here; ++g) {
+    TpGroup group;
+    group.nodes.assign(
+        healthy_nodes.begin() + static_cast<std::ptrdiff_t>(g) * m,
+        healthy_nodes.begin() + static_cast<std::ptrdiff_t>(g + 1) * m);
+    result.groups.push_back(std::move(group));
+  }
+  result.usable_gpus += groups_here * m * gpus_per_node;
+  result.wasted_healthy_gpus += (len % m) * gpus_per_node;
+}
+
+int count_faulty_gpus(const std::vector<bool>& faulty, int gpus_per_node) {
+  int f = 0;
+  for (bool b : faulty)
+    if (b) f += gpus_per_node;
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- BigSwitch
+
+BigSwitch::BigSwitch(int node_count, int gpus_per_node)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node) {
+  if (node_count < 1 || gpus_per_node < 1)
+    throw ConfigError("BigSwitch: positive node and GPU counts required");
+}
+
+Allocation BigSwitch::allocate(const std::vector<bool>& faulty,
+                               int tp_size_gpus) const {
+  const int m = check_args(faulty, tp_size_gpus);
+  Allocation result;
+  result.total_gpus = total_gpus();
+  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+  std::vector<int> healthy;
+  for (int i = 0; i < node_count_; ++i)
+    if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+  tile_pool(healthy, m, gpus_per_node_, result);
+  return result;
+}
+
+// ---------------------------------------------------------------- NvlSwitch
+
+NvlSwitch::NvlSwitch(int node_count, int gpus_per_node, int hbd_gpus)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node),
+      hbd_gpus_(hbd_gpus) {
+  if (hbd_gpus < gpus_per_node || hbd_gpus % gpus_per_node != 0)
+    throw ConfigError("NVL HBD size must be a multiple of GPUs/node");
+  if ((node_count * gpus_per_node) % hbd_gpus != 0)
+    throw ConfigError("cluster size must be a multiple of the NVL HBD size");
+}
+
+std::string NvlSwitch::name() const {
+  return "NVL-" + std::to_string(hbd_gpus_);
+}
+
+Allocation NvlSwitch::allocate(const std::vector<bool>& faulty,
+                               int tp_size_gpus) const {
+  const int m = check_args(faulty, tp_size_gpus);
+  Allocation result;
+  result.total_gpus = total_gpus();
+  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+
+  const int nodes_per_hbd = hbd_gpus_ / gpus_per_node_;
+  for (int base = 0; base < node_count_; base += nodes_per_hbd) {
+    std::vector<int> healthy;
+    for (int i = base; i < base + nodes_per_hbd; ++i)
+      if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+    if (tp_size_gpus > hbd_gpus_) {
+      // TP cannot span NVL islands: the whole island is unusable.
+      result.wasted_healthy_gpus +=
+          static_cast<int>(healthy.size()) * gpus_per_node_;
+      continue;
+    }
+    tile_pool(healthy, m, gpus_per_node_, result);
+  }
+  return result;
+}
+
+// -------------------------------------------------------------------- TpuV4
+
+TpuV4::TpuV4(int node_count, int gpus_per_node, int cube_gpus)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node),
+      cube_gpus_(cube_gpus) {
+  if (cube_gpus < gpus_per_node || cube_gpus % gpus_per_node != 0)
+    throw ConfigError("TPUv4 cube size must be a multiple of GPUs/node");
+  if ((node_count * gpus_per_node) % cube_gpus != 0)
+    throw ConfigError("cluster size must be a multiple of the cube size");
+}
+
+Allocation TpuV4::allocate(const std::vector<bool>& faulty,
+                           int tp_size_gpus) const {
+  const int m = check_args(faulty, tp_size_gpus);
+  Allocation result;
+  result.total_gpus = total_gpus();
+  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+
+  const int nodes_per_cube = cube_gpus_ / gpus_per_node_;
+  if (tp_size_gpus <= cube_gpus_) {
+    // Per-cube fragmentation: a TP group lives inside one cube.
+    for (int base = 0; base < node_count_; base += nodes_per_cube) {
+      std::vector<int> healthy;
+      for (int i = base; i < base + nodes_per_cube; ++i)
+        if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+      tile_pool(healthy, m, gpus_per_node_, result);
+    }
+    return result;
+  }
+
+  // TP > cube: assemble groups from fault-free cubes via the central OCS;
+  // any cube containing a fault is wasted entirely (cube explosion radius).
+  std::vector<int> clean_pool;
+  for (int base = 0; base < node_count_; base += nodes_per_cube) {
+    bool clean = true;
+    for (int i = base; i < base + nodes_per_cube; ++i)
+      if (faulty[static_cast<std::size_t>(i)]) clean = false;
+    if (clean) {
+      for (int i = base; i < base + nodes_per_cube; ++i)
+        clean_pool.push_back(i);
+    } else {
+      for (int i = base; i < base + nodes_per_cube; ++i)
+        if (!faulty[static_cast<std::size_t>(i)])
+          result.wasted_healthy_gpus += gpus_per_node_;
+    }
+  }
+  tile_pool(clean_pool, m, gpus_per_node_, result);
+  return result;
+}
+
+// ------------------------------------------------------------------ SipRing
+
+SipRing::SipRing(int node_count, int gpus_per_node)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node) {
+  if (node_count < 1 || gpus_per_node < 1)
+    throw ConfigError("SipRing: positive node and GPU counts required");
+}
+
+Allocation SipRing::allocate(const std::vector<bool>& faulty,
+                             int tp_size_gpus) const {
+  const int m = check_args(faulty, tp_size_gpus);
+  Allocation result;
+  result.total_gpus = total_gpus();
+  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+
+  // Static rings of exactly m consecutive nodes; trailing nodes that do not
+  // fill a ring are structural fragmentation.
+  int base = 0;
+  for (; base + m <= node_count_; base += m) {
+    std::vector<int> members;
+    bool broken = false;
+    for (int i = base; i < base + m; ++i) {
+      if (faulty[static_cast<std::size_t>(i)]) broken = true;
+      else members.push_back(i);
+    }
+    if (broken) {
+      result.wasted_healthy_gpus +=
+          static_cast<int>(members.size()) * gpus_per_node_;
+    } else {
+      TpGroup group;
+      group.nodes = std::move(members);
+      result.groups.push_back(std::move(group));
+      result.usable_gpus += m * gpus_per_node_;
+    }
+  }
+  for (int i = base; i < node_count_; ++i)
+    if (!faulty[static_cast<std::size_t>(i)])
+      result.wasted_healthy_gpus += gpus_per_node_;
+  return result;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::vector<std::unique_ptr<HbdArchitecture>> make_paper_architectures(
+    int node_count, int gpus_per_node) {
+  std::vector<std::unique_ptr<HbdArchitecture>> archs;
+  archs.push_back(std::make_unique<KHopRing>(node_count, gpus_per_node, 2));
+  archs.push_back(std::make_unique<KHopRing>(node_count, gpus_per_node, 3));
+  archs.push_back(std::make_unique<BigSwitch>(node_count, gpus_per_node));
+  archs.push_back(
+      std::make_unique<TpuV4>(node_count, gpus_per_node, /*cube_gpus=*/64));
+  archs.push_back(std::make_unique<NvlSwitch>(node_count, gpus_per_node, 36));
+  archs.push_back(std::make_unique<NvlSwitch>(node_count, gpus_per_node, 72));
+  archs.push_back(std::make_unique<NvlSwitch>(node_count, gpus_per_node, 576));
+  archs.push_back(std::make_unique<SipRing>(node_count, gpus_per_node));
+  return archs;
+}
+
+}  // namespace ihbd::topo

@@ -1,0 +1,101 @@
+// Baseline HBD architectures the paper compares against (§6.1):
+// Big-Switch (ideal), NVIDIA NVL-36/72/576, Google TPUv4, SiP-Ring.
+//
+// The paper's in-house simulator is closed; the allocation models below are
+// reverse-engineered from the architecture descriptions (§2.2) and validated
+// against every number the paper states (NVL 11% fragmentation floor,
+// TPUv4 7.56% TP-32 trace waste, SiP-Ring's collapse at large TP, 0.53%
+// for InfiniteHBD). Model assumptions are documented per class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/topo/hbd.h"
+
+namespace ihbd::topo {
+
+/// The ideal HBD: one giant non-blocking switch over the whole cluster, no
+/// forwarding latency, no fault coupling. Waste is pure global
+/// fragmentation: healthy GPUs mod TP size.
+class BigSwitch : public HbdArchitecture {
+ public:
+  BigSwitch(int node_count, int gpus_per_node);
+  std::string name() const override { return "Big-Switch"; }
+  int node_count() const override { return node_count_; }
+  int gpus_per_node() const override { return gpus_per_node_; }
+  Allocation allocate(const std::vector<bool>& faulty,
+                      int tp_size_gpus) const override;
+
+ private:
+  int node_count_;
+  int gpus_per_node_;
+};
+
+/// Switch-centric NVL-style HBD: the cluster is partitioned into
+/// independent HBD islands of `hbd_gpus` GPUs (36/72/576); each island
+/// fragments independently (waste = island-healthy mod TP). A TP group
+/// cannot span islands; TP larger than the island wastes the whole island.
+class NvlSwitch : public HbdArchitecture {
+ public:
+  NvlSwitch(int node_count, int gpus_per_node, int hbd_gpus);
+  std::string name() const override;
+  int node_count() const override { return node_count_; }
+  int gpus_per_node() const override { return gpus_per_node_; }
+  int hbd_gpus() const { return hbd_gpus_; }
+  Allocation allocate(const std::vector<bool>& faulty,
+                      int tp_size_gpus) const override;
+
+ private:
+  int node_count_;
+  int gpus_per_node_;
+  int hbd_gpus_;
+};
+
+/// Switch-GPU hybrid TPUv4: 4^3 = 64-GPU cubes joined by a centralized OCS
+/// with cube-granularity scheduling.
+/// Model: for TP <= 64 a TP group must fit inside a single cube (the OCS
+/// stitches cube faces, it cannot route around interior faults), so each
+/// cube fragments independently: waste = cube-healthy mod TP. For TP > 64,
+/// groups are assembled from *fault-free* cubes only (cube-level explosion
+/// radius); every healthy GPU in a faulted cube is wasted.
+class TpuV4 : public HbdArchitecture {
+ public:
+  TpuV4(int node_count, int gpus_per_node, int cube_gpus = 64);
+  std::string name() const override { return "TPUv4"; }
+  int node_count() const override { return node_count_; }
+  int gpus_per_node() const override { return gpus_per_node_; }
+  int cube_gpus() const { return cube_gpus_; }
+  Allocation allocate(const std::vector<bool>& faulty,
+                      int tp_size_gpus) const override;
+
+ private:
+  int node_count_;
+  int gpus_per_node_;
+  int cube_gpus_;
+};
+
+/// GPU-centric SiP-Ring: static rings of exactly TP-size GPUs. A single
+/// fault breaks a ring into a line, which cannot serve the fixed-size ring
+/// workload: every healthy GPU in a broken ring is wasted (Fig. 1b).
+class SipRing : public HbdArchitecture {
+ public:
+  SipRing(int node_count, int gpus_per_node);
+  std::string name() const override { return "SiP-Ring"; }
+  int node_count() const override { return node_count_; }
+  int gpus_per_node() const override { return gpus_per_node_; }
+  Allocation allocate(const std::vector<bool>& faulty,
+                      int tp_size_gpus) const override;
+
+ private:
+  int node_count_;
+  int gpus_per_node_;
+};
+
+/// Factory for the architecture set evaluated in §6 on a cluster of
+/// `node_count` x `gpus_per_node` GPUs. Names match the paper's legends.
+std::vector<std::unique_ptr<HbdArchitecture>> make_paper_architectures(
+    int node_count, int gpus_per_node);
+
+}  // namespace ihbd::topo

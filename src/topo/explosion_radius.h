@@ -1,0 +1,49 @@
+// Fault explosion radius analysis (paper §2.1 / Table 1).
+//
+// The fault explosion radius is "the number of GPUs degraded by a single
+// fault event". Two complementary measurements:
+//
+//  1. immediate_degraded_gpus(): healthy GPUs whose HBD bandwidth degrades
+//     the moment one node fails, BEFORE any re-orchestration - the paper's
+//     architectural radius (node-level for InfiniteHBD/NVL node faults,
+//     cube-level for TPUv4, whole-ring for SiP-Ring).
+//
+//  2. reallocation_loss_gpus(): healthy GPUs that drop out of TP groups
+//     once the scheduler re-orchestrates around the fault - the waste the
+//     §6.2 figures accumulate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topo/hbd.h"
+
+namespace ihbd::topo {
+
+struct RadiusReport {
+  std::string architecture;
+  /// Healthy GPUs with degraded bandwidth immediately after one node
+  /// fault (worst case over fault locations).
+  int immediate_degraded_gpus = 0;
+  /// Healthy GPUs lost from TP groups after re-allocation (mean and worst
+  /// over fault locations, relative to the fault-free allocation).
+  double mean_reallocation_loss_gpus = 0.0;
+  int worst_reallocation_loss_gpus = 0;
+};
+
+/// Compute the immediate architectural radius of a single node fault.
+/// Model per architecture (worst case over positions):
+///  - InfiniteHBD(K>=2): 0 - ring neighbors bypass at full bandwidth;
+///    (K=1 degrades the two neighbors: no backup hop exists).
+///  - Big-Switch / NVL: 0 for a node fault (ports are independent; switch
+///    faults are a different, switch-level event).
+///  - TPUv4: the rest of the faulty node's cube (torus broken).
+///  - SiP-Ring: the rest of the faulty node's static ring (ring -> line).
+int immediate_degraded_gpus(const HbdArchitecture& arch, int tp_size_gpus);
+
+/// Monte-Carlo the re-allocation loss of single-node faults.
+RadiusReport measure_radius(const HbdArchitecture& arch, int tp_size_gpus,
+                            int trials, Rng& rng);
+
+}  // namespace ihbd::topo

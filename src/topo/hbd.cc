@@ -1,0 +1,17 @@
+#include "src/topo/hbd.h"
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::topo {
+
+int HbdArchitecture::check_args(const std::vector<bool>& faulty,
+                                int tp_size_gpus) const {
+  if (static_cast<int>(faulty.size()) != node_count())
+    throw ConfigError("fault mask size != node count");
+  if (tp_size_gpus <= 0 || tp_size_gpus % gpus_per_node() != 0)
+    throw ConfigError("TP size must be a positive multiple of GPUs/node");
+  return tp_size_gpus / gpus_per_node();
+}
+
+}  // namespace ihbd::topo

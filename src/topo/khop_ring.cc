@@ -1,0 +1,149 @@
+#include "src/topo/khop_ring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::topo {
+
+KHopRing::KHopRing(int node_count, int gpus_per_node, int k, bool ring)
+    : node_count_(node_count), gpus_per_node_(gpus_per_node), k_(k),
+      ring_(ring) {
+  if (node_count < 2) throw ConfigError("KHopRing needs >= 2 nodes");
+  if (gpus_per_node < 1) throw ConfigError("GPUs per node must be >= 1");
+  if (k < 1) throw ConfigError("K must be >= 1");
+  if (2 * k >= node_count)
+    throw ConfigError("K too large for node count (2K must be < N)");
+}
+
+std::string KHopRing::name() const {
+  return std::string("InfiniteHBD(K=") + std::to_string(k_) +
+         (ring_ ? ")" : ",line)");
+}
+
+int KHopRing::hop_distance(int a, int b) const {
+  IHBD_EXPECTS(a >= 0 && a < node_count_ && b >= 0 && b < node_count_);
+  int d = std::abs(a - b);
+  if (ring_) d = std::min(d, node_count_ - d);
+  return d;
+}
+
+bool KHopRing::connected(int a, int b) const {
+  const int d = hop_distance(a, b);
+  return d >= 1 && d <= k_;
+}
+
+std::vector<int> KHopRing::neighbors(int node) const {
+  IHBD_EXPECTS(node >= 0 && node < node_count_);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(2 * k_));
+  for (int h = 1; h <= k_; ++h) {
+    const int fwd = node + h;
+    const int bwd = node - h;
+    if (ring_) {
+      out.push_back((fwd) % node_count_);
+      out.push_back((bwd % node_count_ + node_count_) % node_count_);
+    } else {
+      if (fwd < node_count_) out.push_back(fwd);
+      if (bwd >= 0) out.push_back(bwd);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<HealthyArc> KHopRing::healthy_arcs(
+    const std::vector<bool>& faulty) const {
+  IHBD_EXPECTS(static_cast<int>(faulty.size()) == node_count_);
+  const int n = node_count_;
+
+  std::vector<int> healthy;
+  healthy.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+  if (healthy.empty()) return {};
+
+  // Gap between consecutive healthy nodes (#faulty in between). Bypassable
+  // iff gap <= K-1, i.e. the bridging link spans gap+1 <= K hops.
+  auto gap_after = [&](std::size_t idx) {
+    const int cur = healthy[idx];
+    const int nxt = healthy[(idx + 1) % healthy.size()];
+    int gap = nxt - cur - 1;
+    if (gap < 0) gap += n;  // wrap
+    return gap;
+  };
+
+  // Find cut positions (index i such that the link healthy[i]->healthy[i+1]
+  // is NOT bypassable).
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < healthy.size(); ++i) {
+    bool cut = gap_after(i) > max_bypassable_run();
+    // Line variant: the wrap-around link does not exist at all.
+    if (!ring_ && (i + 1) == healthy.size()) cut = true;
+    if (cut) cuts.push_back(i);
+  }
+
+  std::vector<HealthyArc> arcs;
+  if (cuts.empty()) {
+    // Unbroken: one circular arc containing every healthy node.
+    HealthyArc arc;
+    arc.nodes = healthy;
+    arc.circular = true;
+    arcs.push_back(std::move(arc));
+    return arcs;
+  }
+
+  // Walk arc-by-arc: each arc starts right after a cut and ends at the next.
+  for (std::size_t c = 0; c < cuts.size(); ++c) {
+    const std::size_t begin = (cuts[c] + 1) % healthy.size();
+    const std::size_t end = cuts[(c + 1) % cuts.size()];  // inclusive
+    HealthyArc arc;
+    std::size_t i = begin;
+    while (true) {
+      arc.nodes.push_back(healthy[i]);
+      if (i == end) break;
+      i = (i + 1) % healthy.size();
+    }
+    arcs.push_back(std::move(arc));
+    if (cuts.size() == 1) break;  // single cut -> single line arc
+  }
+  return arcs;
+}
+
+Allocation KHopRing::allocate(const std::vector<bool>& faulty,
+                              int tp_size_gpus) const {
+  const int m = check_args(faulty, tp_size_gpus);
+  Allocation result;
+  result.total_gpus = total_gpus();
+  for (bool f : faulty)
+    if (f) result.faulty_gpus += gpus_per_node_;
+
+  for (const auto& arc : healthy_arcs(faulty)) {
+    const int len = static_cast<int>(arc.nodes.size());
+    const int groups_here = len / m;
+    for (int g = 0; g < groups_here; ++g) {
+      TpGroup group;
+      group.nodes.assign(arc.nodes.begin() + static_cast<std::ptrdiff_t>(g) * m,
+                         arc.nodes.begin() +
+                             static_cast<std::ptrdiff_t>(g + 1) * m);
+      result.groups.push_back(std::move(group));
+    }
+    result.usable_gpus += groups_here * m * gpus_per_node_;
+    result.wasted_healthy_gpus += (len % m) * gpus_per_node_;
+  }
+  return result;
+}
+
+double waste_ratio_upper_bound(int tp_size_gpus, int gpus_per_node,
+                               double node_fault_prob, int k) {
+  IHBD_EXPECTS(tp_size_gpus > 0 && gpus_per_node > 0 && k >= 1);
+  IHBD_EXPECTS(node_fault_prob >= 0.0 && node_fault_prob <= 1.0);
+  return 2.0 * (tp_size_gpus - gpus_per_node) *
+         std::pow(node_fault_prob, k);
+}
+
+}  // namespace ihbd::topo

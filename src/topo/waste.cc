@@ -1,0 +1,62 @@
+#include "src/topo/waste.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::topo {
+
+TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
+                                           const fault::FaultTrace& trace,
+                                           int tp_size_gpus,
+                                           double step_days) {
+  IHBD_EXPECTS(trace.node_count() == arch.node_count());
+  IHBD_EXPECTS(step_days > 0.0);
+  TraceWasteResult out;
+  for (double day = 0.0; day < trace.duration_days(); day += step_days) {
+    const auto mask = trace.faulty_at(day);
+    const Allocation alloc = arch.allocate(mask, tp_size_gpus);
+    out.waste_ratio.push(day, alloc.waste_ratio());
+    out.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
+  }
+  out.waste_summary = out.waste_ratio.summarize_values();
+  return out;
+}
+
+double mean_waste_at_ratio(const HbdArchitecture& arch, double fault_ratio,
+                           int tp_size_gpus, int trials, Rng& rng) {
+  IHBD_EXPECTS(trials > 0);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto mask =
+        fault::sample_fault_mask(arch.node_count(), fault_ratio, rng);
+    total += arch.allocate(mask, tp_size_gpus).waste_ratio();
+  }
+  return total / trials;
+}
+
+int max_job_scale(const TimeSeries& usable_gpus, double quantile,
+                  int tp_size_gpus) {
+  IHBD_EXPECTS(quantile >= 0.0 && quantile <= 1.0);
+  IHBD_EXPECTS(tp_size_gpus > 0);
+  if (usable_gpus.v.empty()) return 0;
+  // The job size supportable `quantile` of the time is the
+  // (1 - quantile)-percentile of the usable series.
+  const double val =
+      percentile(usable_gpus.v, (1.0 - quantile) * 100.0);
+  const int gpus = static_cast<int>(val);
+  return (gpus / tp_size_gpus) * tp_size_gpus;
+}
+
+double fault_waiting_rate(const TimeSeries& usable_gpus,
+                          double job_scale_gpus) {
+  if (usable_gpus.v.empty()) return 0.0;
+  std::size_t waiting = 0;
+  for (double u : usable_gpus.v)
+    if (u < job_scale_gpus) ++waiting;
+  return static_cast<double>(waiting) /
+         static_cast<double>(usable_gpus.v.size());
+}
+
+}  // namespace ihbd::topo

@@ -1,0 +1,44 @@
+// Evaluation drivers for HBD fault resilience (paper §6.2): GPU waste ratio
+// over a fault trace or fault-ratio sweep, maximum supported job scale, and
+// job fault-waiting rate. Shared by Figs. 13-16 and 20-23 benches.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/fault/trace.h"
+#include "src/topo/hbd.h"
+
+namespace ihbd::topo {
+
+/// Result of replaying a fault trace against an architecture.
+struct TraceWasteResult {
+  TimeSeries waste_ratio;  ///< healthy-GPU waste ratio per sample time
+  TimeSeries usable_gpus;  ///< GPUs inside placed TP groups per sample time
+  Summary waste_summary;   ///< summary over waste_ratio.v
+};
+
+/// Replay `trace` against `arch` with TP size `tp_size_gpus`, sampling every
+/// `step_days`.
+TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
+                                           const fault::FaultTrace& trace,
+                                           int tp_size_gpus,
+                                           double step_days = 1.0);
+
+/// Mean waste ratio at an exact node-fault ratio (Fig. 14 sweep), averaged
+/// over `trials` random fault masks.
+double mean_waste_at_ratio(const HbdArchitecture& arch, double fault_ratio,
+                           int tp_size_gpus, int trials, Rng& rng);
+
+/// Maximum job scale (GPUs) supportable a `quantile` fraction of the time,
+/// e.g. quantile = 0.99 -> the job size that would have been placeable 99%
+/// of the trace. Derived from a usable-GPUs series, rounded down to a
+/// multiple of the TP size.
+int max_job_scale(const TimeSeries& usable_gpus, double quantile,
+                  int tp_size_gpus);
+
+/// Fraction of sampled time where fewer than `job_scale_gpus` usable GPUs
+/// were available (Fig. 16's fault-waiting rate).
+double fault_waiting_rate(const TimeSeries& usable_gpus,
+                          double job_scale_gpus);
+
+}  // namespace ihbd::topo

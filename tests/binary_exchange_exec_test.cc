@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/collective/binary_exchange_exec.h"
+#include "src/collective/costs.h"
+
+namespace ihbd::collective {
+namespace {
+
+topo::BinaryHopTopology wiring() { return {256, 4, 4}; }
+
+TEST(BinExchExec, DeliversAndMatchesRounds) {
+  const auto w = wiring();
+  const auto result = execute_binary_exchange(w, 0, 16, 1e6);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.delivered_all);
+  EXPECT_EQ(result.rounds, 4);
+  EXPECT_GT(result.total_time_s, 0.0);
+}
+
+TEST(BinExchExec, InfeasibleOnUnsupportedGroup) {
+  const auto w = wiring();
+  EXPECT_FALSE(execute_binary_exchange(w, 8, 16, 1e6).feasible);  // misaligned
+  EXPECT_FALSE(execute_binary_exchange(w, 0, 32, 1e6).feasible);  // too wide
+}
+
+TEST(BinExchExec, FullOverlapHidesReconfiguration) {
+  const auto w = wiring();
+  BinaryExchangeExecConfig cfg;
+  cfg.reconfig_s = 70e-6;
+  cfg.compute_window_s = 1.0;  // plenty of compute to hide behind
+  const auto hidden = execute_binary_exchange(w, 0, 16, 1e6, cfg);
+  EXPECT_DOUBLE_EQ(hidden.reconfig_exposed_s, 0.0);
+
+  cfg.compute_window_s = 0.0;
+  const auto exposed = execute_binary_exchange(w, 0, 16, 1e6, cfg);
+  // log2(16) - 1 = 3 inter-round switches fully exposed.
+  EXPECT_NEAR(exposed.reconfig_exposed_s, 3 * 70e-6, 1e-12);
+  EXPECT_GT(exposed.total_time_s, hidden.total_time_s);
+}
+
+TEST(BinExchExec, MatchesAnalyticModelAtScale) {
+  const auto w = wiring();
+  BinaryExchangeExecConfig cfg;
+  cfg.reconfig_s = 0.0;
+  const double msg = 4e6;
+  const auto exec = execute_binary_exchange(w, 0, 16, msg, cfg);
+  LinkParams link;
+  link.bandwidth_Bps = cfg.link_bandwidth_Bps;
+  link.alpha_s = cfg.alpha_s;
+  const double analytic = binary_exchange_alltoall_time(16, msg, link);
+  EXPECT_NEAR(exec.total_time_s, analytic, 0.05 * analytic);
+}
+
+TEST(BinExchExec, TimeGrowsWithMessageSize) {
+  const auto w = wiring();
+  const auto small = execute_binary_exchange(w, 0, 8, 1e5);
+  const auto large = execute_binary_exchange(w, 0, 8, 1e7);
+  EXPECT_GT(large.total_time_s, small.total_time_s);
+}
+
+TEST(BinExchExec, TrivialGroup) {
+  const auto w = wiring();
+  const auto one = execute_binary_exchange(w, 0, 1, 1e6);
+  EXPECT_TRUE(one.feasible);
+  EXPECT_TRUE(one.delivered_all);
+  EXPECT_EQ(one.rounds, 0);
+}
+
+class BinExchExecSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinExchExecSizes, DeliveryHoldsAcrossGroupSizes) {
+  const auto w = wiring();
+  const int p = GetParam();
+  const auto result = execute_binary_exchange(w, 0, p, 2.0);
+  ASSERT_TRUE(result.feasible) << p;
+  EXPECT_TRUE(result.delivered_all) << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, BinExchExecSizes,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace ihbd::collective

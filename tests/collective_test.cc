@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/collective/alltoall.h"
+#include "src/collective/costs.h"
+#include "src/collective/ring_sim.h"
+
+namespace ihbd::collective {
+namespace {
+
+TEST(Costs, RingAllReduceFormula) {
+  LinkParams link;
+  link.bandwidth_Bps = 100e9;
+  link.alpha_s = 0.0;
+  // 2(n-1)/n * bytes / bw.
+  EXPECT_NEAR(ring_allreduce_time(4, 400e6, link),
+              2.0 * 3 * (100e6 / 100e9), 1e-12);
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(1, 1e9, link), 0.0);
+}
+
+TEST(Costs, BusUtilizationIdentity) {
+  // With zero latency, utilization == protocol efficiency by construction.
+  LinkParams link;
+  link.alpha_s = 0.0;
+  link.protocol_efficiency = 0.8;
+  const double t = ring_allreduce_time(8, 1e9, link);
+  EXPECT_NEAR(allreduce_bus_utilization(8, 1e9, t, link.bandwidth_Bps), 0.8,
+              1e-9);
+}
+
+TEST(Costs, AllToAllAsymptotics) {
+  LinkParams link;
+  link.alpha_s = 1e-6;
+  const double m = 1e6;
+  // Ring grows ~p^2, binary exchange ~p log p: at p=64 ring must be far
+  // slower; at p=2 they coincide (one exchange).
+  EXPECT_GT(ring_alltoall_time(64, m, link),
+            3.0 * binary_exchange_alltoall_time(64, m, link));
+  EXPECT_NEAR(ring_alltoall_time(2, m, link),
+              binary_exchange_alltoall_time(2, m, link), 1e-9);
+}
+
+TEST(Costs, BinaryExchangeMatchesAppendixGFormula) {
+  // T = ts log2 p + tw m p/2 log2 p.
+  LinkParams link;
+  link.bandwidth_Bps = 1e9;
+  link.alpha_s = 5e-6;
+  const int p = 16;
+  const double m = 1e6;
+  const double expect =
+      4 * (5e-6) + 4 * (p * m / 2.0) / 1e9;
+  EXPECT_NEAR(binary_exchange_alltoall_time(p, m, link), expect, 1e-12);
+}
+
+TEST(Costs, ReconfigOverheadAdds) {
+  LinkParams link;
+  const double base = binary_exchange_alltoall_time(16, 1e6, link, 0.0);
+  const double with_switch =
+      binary_exchange_alltoall_time(16, 1e6, link, 70e-6);
+  EXPECT_NEAR(with_switch - base, 4 * 70e-6, 1e-12);
+}
+
+TEST(Costs, BruckAndPairwiseSanity) {
+  LinkParams link;
+  EXPECT_GT(bruck_alltoall_time(16, 1e6, link), 0.0);
+  EXPECT_GT(pairwise_alltoall_time(16, 1e6, link),
+            bruck_alltoall_time(16, 1e6, link) * 0.1);
+  EXPECT_DOUBLE_EQ(bruck_alltoall_time(1, 1e6, link), 0.0);
+}
+
+// ------------------------------------------------- functional AllToAll ---
+
+class BinaryExchangeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryExchangeSizes, DeliversAllBlocks) {
+  const int p = GetParam();
+  const auto result = simulate_binary_exchange(p, 1.0);
+  EXPECT_TRUE(result.delivered_all) << "p = " << p;
+  int log2p = 0;
+  while ((1 << log2p) < p) ++log2p;
+  EXPECT_EQ(result.rounds, log2p);
+}
+
+TEST_P(BinaryExchangeSizes, MovesPHalfPerRound) {
+  // Appendix G.2: transmitted data size per round is p*m/2.
+  const int p = GetParam();
+  if (p < 2) return;
+  const auto result = simulate_binary_exchange(p, 2.0);
+  for (double bytes : result.round_bytes)
+    EXPECT_DOUBLE_EQ(bytes, p * 2.0 / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, BinaryExchangeSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+class RingAllToAllSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingAllToAllSizes, DeliversAllBlocks) {
+  const int p = GetParam();
+  const auto result = simulate_ring_alltoall(p, 1.0);
+  EXPECT_TRUE(result.delivered_all) << "p = " << p;
+  EXPECT_EQ(result.rounds, std::max(0, p - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingAllToAllSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+TEST(AllToAllSims, RingMovesQuadraticallyMoreData) {
+  const auto ring = simulate_ring_alltoall(32, 1.0);
+  const auto bex = simulate_binary_exchange(32, 1.0);
+  // Ring: sum_{j=1..p-1}(p-j) = p(p-1)/2 = 496; binary: p/2*log2 p = 80.
+  EXPECT_DOUBLE_EQ(ring.bytes_sent_per_node, 496.0);
+  EXPECT_DOUBLE_EQ(bex.bytes_sent_per_node, 80.0);
+}
+
+// -------------------------------------------------- §5.2 reproduction ---
+
+TEST(RingSim, UtilizationMatchesPaperSmallCluster) {
+  // Paper §5.2: 16-GPU ring 77.11%, 32-GPU ring 77.26% of ring bandwidth.
+  const double bytes = 1.0 * (1ull << 30);
+  const auto r16 = simulate_ring_allreduce(16, bytes);
+  const auto r32 = simulate_ring_allreduce(32, bytes);
+  EXPECT_NEAR(r16.bus_utilization, 0.7711, 0.02);
+  EXPECT_NEAR(r32.bus_utilization, 0.7726, 0.02);
+  // "minimal degradation with scaling"
+  EXPECT_NEAR(r16.bus_utilization, r32.bus_utilization, 0.01);
+}
+
+TEST(RingSim, SwitchUtilizationMatchesPaper) {
+  // Paper §5.2: NVIDIA H100 8-GPU machine reaches 81.77% without SHARP.
+  const double bytes = 1.0 * (1ull << 30);
+  const auto sw = simulate_switch_allreduce(8, bytes);
+  EXPECT_NEAR(sw.bus_utilization, 0.8177, 0.02);
+}
+
+TEST(RingSim, DirectLinksCutSmallPacketLatency) {
+  // Paper §5.2: direct GPU-GPU links reduce small-packet latency ~13%.
+  const double small_packet = 256.0;
+  const double direct = direct_link_latency(small_packet);
+  const double via_switch = switch_link_latency(small_packet);
+  const double reduction = 1.0 - direct / via_switch;
+  EXPECT_NEAR(reduction, 0.13, 0.03);
+}
+
+TEST(RingSim, LargeBuffersApproachProtocolEfficiency) {
+  RingSimParams params;
+  const auto r = simulate_ring_allreduce(8, 4.0 * (1ull << 30), params);
+  EXPECT_NEAR(r.bus_utilization, params.protocol_efficiency, 0.02);
+}
+
+TEST(RingSim, TinyBuffersAreLatencyBound) {
+  const auto r = simulate_ring_allreduce(16, 64.0 * 1024);
+  EXPECT_LT(r.bus_utilization, 0.4);
+}
+
+TEST(RingSim, TimeScalesWithBytes) {
+  const auto a = simulate_ring_allreduce(8, 1.0 * (1ull << 30));
+  const auto b = simulate_ring_allreduce(8, 2.0 * (1ull << 30));
+  EXPECT_NEAR(b.time_s / a.time_s, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ihbd::collective

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/core/cluster.h"
+
+namespace ihbd::core {
+namespace {
+
+InfiniteHbdCluster::Config small_config(int nodes = 16, int k = 2) {
+  InfiniteHbdCluster::Config cfg;
+  cfg.node_count = nodes;
+  cfg.gpus_per_node = 4;
+  cfg.k = k;
+  cfg.trx_per_bundle = 2;  // keep tests fast
+  return cfg;
+}
+
+TEST(Cluster, ConstructionAndBasics) {
+  InfiniteHbdCluster cluster(small_config());
+  EXPECT_EQ(cluster.node_count(), 16);
+  EXPECT_EQ(cluster.total_gpus(), 64);
+  EXPECT_EQ(cluster.faulty_node_count(), 0);
+}
+
+TEST(Cluster, RejectsKBeyondBundles) {
+  auto cfg = small_config();
+  cfg.k = 5;  // needs 5 bundles > 4 GPUs
+  EXPECT_THROW(InfiniteHbdCluster cluster(cfg), ConfigError);
+}
+
+TEST(Cluster, BundleForHopConvention) {
+  InfiniteHbdCluster cluster(small_config(16, 3));
+  EXPECT_EQ(cluster.bundle_for_hop(+1).first, 0);
+  EXPECT_EQ(cluster.bundle_for_hop(-1).first, 1);
+  EXPECT_EQ(cluster.bundle_for_hop(+2).first, 0);
+  EXPECT_EQ(cluster.bundle_for_hop(-2).first, 1);
+  EXPECT_EQ(cluster.bundle_for_hop(+3).first, 2);
+  EXPECT_EQ(cluster.bundle_for_hop(-3).first, 2);
+  EXPECT_EQ(cluster.bundle_for_hop(+1).second, ocstrx::OcsPath::kExternal1);
+  EXPECT_EQ(cluster.bundle_for_hop(+2).second, ocstrx::OcsPath::kExternal2);
+}
+
+TEST(Cluster, BuildRingsHealthyCluster) {
+  InfiniteHbdCluster cluster(small_config());
+  const auto plan = cluster.build_rings(16);  // m = 4 -> 4 groups
+  EXPECT_EQ(plan.allocation.groups.size(), 4u);
+  EXPECT_EQ(plan.allocation.usable_gpus, 64);
+  EXPECT_EQ(plan.allocation.wasted_healthy_gpus, 0);
+  // 3 internal links per 4-node group.
+  EXPECT_EQ(plan.links.size(), 4u * 3u);
+  // Fast-switch budget: hardware-only reconfiguration.
+  EXPECT_GT(plan.reconfig_latency_s, 0.0);
+  EXPECT_LE(plan.reconfig_latency_s, 80e-6);
+}
+
+TEST(Cluster, LinksRespectHopBound) {
+  auto cfg = small_config(20, 2);
+  InfiniteHbdCluster cluster(cfg);
+  cluster.fail_node(3);
+  cluster.fail_node(9);
+  const auto plan = cluster.build_rings(16);
+  for (const auto& link : plan.links) {
+    EXPECT_GE(link.hop, 1);
+    EXPECT_LE(link.hop, 2);
+    EXPECT_FALSE(cluster.node_faulty(link.from_node));
+    EXPECT_FALSE(cluster.node_faulty(link.to_node));
+  }
+}
+
+TEST(Cluster, FaultBeforeBuildExcludesNode) {
+  InfiniteHbdCluster cluster(small_config());
+  cluster.fail_node(5);
+  const auto plan = cluster.build_rings(16);
+  for (const auto& group : plan.allocation.groups)
+    for (int node : group.nodes) EXPECT_NE(node, 5);
+  EXPECT_EQ(plan.allocation.faulty_gpus, 4);
+}
+
+TEST(Cluster, MidRingFaultIsBypassed) {
+  InfiniteHbdCluster cluster(small_config(16, 2));
+  cluster.build_rings(16);
+  // Node 1 is interior to group {0,1,2,3}: neighbors 0 and 2 can bridge
+  // the 2-hop gap at K=2.
+  const auto result = cluster.fail_and_bypass(1);
+  EXPECT_TRUE(result.ring_was_member);
+  EXPECT_TRUE(result.bypassed);
+  EXPECT_GT(result.reconfig_latency_s, 0.0);
+  EXPECT_LE(result.reconfig_latency_s, 80e-6);
+  EXPECT_EQ(result.degraded_group, 0);
+}
+
+TEST(Cluster, EndNodeFaultShrinksSegment) {
+  InfiniteHbdCluster cluster(small_config(16, 2));
+  cluster.build_rings(16);
+  const auto result = cluster.fail_and_bypass(0);  // end of group 0
+  EXPECT_TRUE(result.ring_was_member);
+  EXPECT_TRUE(result.bypassed);
+}
+
+TEST(Cluster, NonMemberFaultNeedsNoBypass) {
+  InfiniteHbdCluster cluster(small_config(18, 2));
+  cluster.build_rings(16);  // 4 groups of 4; nodes 16,17 wasted
+  const auto result = cluster.fail_and_bypass(17);
+  EXPECT_FALSE(result.ring_was_member);
+  EXPECT_FALSE(result.bypassed);
+}
+
+TEST(Cluster, BypassReducesGroupSize) {
+  InfiniteHbdCluster cluster(small_config(16, 2));
+  cluster.build_rings(16);
+  cluster.fail_and_bypass(2);
+  const auto& group = cluster.active_plan().allocation.groups[0];
+  EXPECT_EQ(group.nodes.size(), 3u);
+}
+
+TEST(Cluster, RepairRestoresCapacity) {
+  InfiniteHbdCluster cluster(small_config());
+  cluster.fail_node(5);
+  auto degraded = cluster.build_rings(16);
+  EXPECT_LT(degraded.allocation.usable_gpus, 64);
+  cluster.repair_node(5);
+  auto restored = cluster.build_rings(16);
+  EXPECT_EQ(restored.allocation.usable_gpus, 64);
+}
+
+TEST(Cluster, ExternalBandwidthReflectsActiveLinks) {
+  InfiniteHbdCluster cluster(small_config());
+  cluster.build_rings(16);
+  // Interior node of a group: fwd + bwd bundles active, 2 trx x 800G each.
+  const int interior = cluster.active_plan().allocation.groups[0].nodes[1];
+  EXPECT_GT(cluster.hbd_bandwidth_per_gpu_gbps(interior), 0.0);
+}
+
+TEST(Cluster, RebuildAfterFaultsMatchesTopologyModel) {
+  InfiniteHbdCluster cluster(small_config(20, 3));
+  cluster.fail_node(4);
+  cluster.fail_node(5);
+  const auto plan = cluster.build_rings(16);
+  const auto expect = cluster.topology().allocate(cluster.fault_mask(), 16);
+  EXPECT_EQ(plan.allocation.usable_gpus, expect.usable_gpus);
+  EXPECT_EQ(plan.allocation.wasted_healthy_gpus, expect.wasted_healthy_gpus);
+}
+
+TEST(Cluster, SingleNodeGroups) {
+  // TP size = one node: every healthy node forms its own loopback ring.
+  InfiniteHbdCluster cluster(small_config(16, 2));
+  const auto plan = cluster.build_rings(4);
+  EXPECT_EQ(plan.allocation.groups.size(), 16u);
+  EXPECT_TRUE(plan.links.empty());  // loopback-only rings
+}
+
+}  // namespace
+}  // namespace ihbd::core

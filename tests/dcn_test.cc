@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/dcn/fattree.h"
+#include "src/dcn/traffic.h"
+
+namespace ihbd::dcn {
+namespace {
+
+FatTree small_tree() {
+  FatTreeConfig cfg;
+  cfg.node_count = 64;
+  cfg.nodes_per_tor = 4;
+  cfg.tors_per_domain = 4;
+  return FatTree(cfg);
+}
+
+TEST(FatTree, ValidatesConfig) {
+  FatTreeConfig bad;
+  bad.node_count = 10;
+  bad.nodes_per_tor = 4;  // 10 % 4 != 0
+  EXPECT_THROW(FatTree{bad}, ConfigError);
+}
+
+TEST(FatTree, TorAndDomainMapping) {
+  const FatTree ft = small_tree();
+  EXPECT_EQ(ft.tor_count(), 16);
+  EXPECT_EQ(ft.domain_size_nodes(), 16);
+  EXPECT_EQ(ft.domain_count(), 4);
+  EXPECT_EQ(ft.tor_of(0), 0);
+  EXPECT_EQ(ft.tor_of(5), 1);
+  EXPECT_EQ(ft.domain_of(15), 0);
+  EXPECT_EQ(ft.domain_of(16), 1);
+}
+
+TEST(FatTree, NetworkDistances) {
+  const FatTree ft = small_tree();
+  EXPECT_EQ(ft.network_distance(0, 0), 0);
+  EXPECT_EQ(ft.network_distance(0, 1), 1);   // same ToR
+  EXPECT_EQ(ft.network_distance(0, 5), 3);   // same domain, different ToR
+  EXPECT_EQ(ft.network_distance(0, 40), 5);  // cross-domain
+}
+
+namespace {
+PlacedGroup make_group(std::vector<int> nodes, int subline = -1,
+                       int domain = -1, int pos = -1) {
+  PlacedGroup g;
+  g.group.nodes = std::move(nodes);
+  g.subline = subline;
+  g.domain = domain;
+  g.pos = pos;
+  return g;
+}
+}  // namespace
+
+TEST(Traffic, AlignedPlacementIsIntraToR) {
+  // Two groups at the same (domain,pos) across sublines 0 and 1; their
+  // rank-r nodes share ToRs -> zero cross-ToR volume.
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  placement.groups.push_back(make_group({0, 4}, 0, 0, 0));
+  placement.groups.push_back(make_group({1, 5}, 1, 0, 0));
+  const auto stats = evaluate_cross_tor(ft, placement, 4);
+  EXPECT_EQ(stats.cross_tor_edges, 0);
+  EXPECT_GT(stats.dcn_volume, 0.0);
+  EXPECT_DOUBLE_EQ(stats.cross_tor_rate(), 0.0);
+}
+
+TEST(Traffic, MisalignedMemberCrossesToR) {
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  placement.groups.push_back(make_group({0, 4}, 0, 0, 0));
+  placement.groups.push_back(make_group({5, 9}, 1, 0, 0));  // shifted a ToR
+  const auto stats = evaluate_cross_tor(ft, placement, 4);
+  EXPECT_EQ(stats.cross_tor_edges, 2);  // both ranks cross
+  EXPECT_GT(stats.cross_tor_rate(), 0.0);
+}
+
+TEST(Traffic, ResidualGroupsChainAcrossToRs) {
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  // Four residual groups (no coordinates) of one node each, far apart.
+  placement.groups.push_back(make_group({0}));
+  placement.groups.push_back(make_group({16}));
+  placement.groups.push_back(make_group({32}));
+  placement.groups.push_back(make_group({48}));
+  const auto stats = evaluate_cross_tor(ft, placement, 4);
+  EXPECT_EQ(stats.dcn_edges, 4);  // ring of width p=4
+  EXPECT_EQ(stats.cross_tor_edges, 4);
+  EXPECT_DOUBLE_EQ(stats.dcn_cross_fraction(), 1.0);
+}
+
+TEST(Traffic, FullyMisalignedRateMatchesVolumeRatio) {
+  // With tp_to_dcn_volume_ratio = 9, an all-cross placement yields a rate
+  // near 1/(9+1) = 10% - the paper's baseline level.
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  for (int g = 0; g < 8; ++g)
+    placement.groups.push_back(make_group({g * 8, g * 8 + 4}));
+  TrafficModel model;
+  model.tp_to_dcn_volume_ratio = 9.0;
+  const auto stats = evaluate_cross_tor(ft, placement, 4, model);
+  EXPECT_NEAR(stats.cross_tor_rate(), 0.10, 0.02);
+}
+
+TEST(Traffic, UseGroupsLimitsAccounting) {
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  placement.groups.push_back(make_group({0, 4}, 0, 0, 0));
+  placement.groups.push_back(make_group({1, 5}, 1, 0, 0));
+  placement.groups.push_back(make_group({32}));
+  const auto all = evaluate_cross_tor(ft, placement, 4);
+  const auto two = evaluate_cross_tor(ft, placement, 4, {}, 2);
+  EXPECT_LT(two.total_volume, all.total_volume);
+}
+
+TEST(Traffic, GpuCountCountsNodes) {
+  PlacementScheme placement;
+  placement.groups.push_back(make_group({0, 1, 2}));
+  placement.groups.push_back(make_group({3}));
+  EXPECT_EQ(placement.gpu_count(4), 16);
+}
+
+TEST(Traffic, TwoMemberRingHasSingleLink) {
+  const FatTree ft = small_tree();
+  PlacementScheme placement;
+  placement.groups.push_back(make_group({0}, 0, 0, 0));
+  placement.groups.push_back(make_group({1}, 1, 0, 0));
+  const auto stats = evaluate_cross_tor(ft, placement, 4);
+  EXPECT_EQ(stats.dcn_edges, 1);  // no double-counted wrap link
+}
+
+}  // namespace
+}  // namespace ihbd::dcn

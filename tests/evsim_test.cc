@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/evsim/engine.h"
+
+namespace ihbd::evsim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&](Engine&) { order.push_back(3); });
+  e.schedule_at(1.0, [&](Engine&) { order.push_back(1); });
+  e.schedule_at(2.0, [&](Engine&) { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.executed(), 3u);
+}
+
+TEST(Engine, EqualTimesRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    e.schedule_at(1.0, [&order, i](Engine&) { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(2.5, [&](Engine& eng) { seen = eng.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double t2 = 0.0;
+  e.schedule_at(1.0, [&](Engine& eng) {
+    eng.schedule_in(0.5, [&](Engine& inner) { t2 = inner.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(t2, 1.5);
+}
+
+TEST(Engine, CascadedEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void(Engine&)> tick = [&](Engine& eng) {
+    if (++count < 10) eng.schedule_in(1.0, tick);
+  };
+  e.schedule_at(0.0, tick);
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine e;
+  int ran = 0;
+  e.schedule_at(1.0, [&](Engine&) { ++ran; });
+  e.schedule_at(5.0, [&](Engine&) { ++ran; });
+  e.run_until(2.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, RunOnEmptyQueueIsNoop) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.run(), 0.0);
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+}  // namespace
+}  // namespace ihbd::evsim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/fault/generator.h"
+#include "src/fault/trace.h"
+
+namespace ihbd::fault {
+namespace {
+
+TEST(FaultTrace, ValidatesEvents) {
+  EXPECT_THROW(FaultTrace(0, 10.0, {}), ConfigError);
+  EXPECT_THROW(FaultTrace(4, 10.0, {{5, 0.0, 1.0}}), ConfigError);
+  EXPECT_THROW(FaultTrace(4, 10.0, {{1, 2.0, 1.0}}), ConfigError);
+}
+
+TEST(FaultTrace, FaultyAtRespectsIntervals) {
+  FaultTrace trace(4, 10.0, {{1, 2.0, 4.0}, {3, 3.0, 5.0}});
+  EXPECT_FALSE(trace.faulty_at(1.0)[1]);
+  EXPECT_TRUE(trace.faulty_at(2.5)[1]);
+  EXPECT_TRUE(trace.faulty_at(3.5)[1]);
+  EXPECT_TRUE(trace.faulty_at(3.5)[3]);
+  EXPECT_FALSE(trace.faulty_at(4.5)[1]);
+  EXPECT_TRUE(trace.faulty_at(4.5)[3]);
+  EXPECT_EQ(trace.faulty_count_at(3.5), 2);
+}
+
+TEST(FaultTrace, RatioSeriesLengthAndRange) {
+  FaultTrace trace(10, 30.0, {{0, 0.0, 30.0}});
+  const auto ts = trace.ratio_series(1.0);
+  EXPECT_EQ(ts.size(), 30u);
+  for (double v : ts.v) EXPECT_DOUBLE_EQ(v, 0.1);
+}
+
+TEST(FaultTrace, MeanRepairDays) {
+  FaultTrace trace(4, 10.0, {{0, 0.0, 1.0}, {1, 2.0, 5.0}});
+  EXPECT_DOUBLE_EQ(trace.mean_repair_days(), 2.0);
+}
+
+TEST(FaultTrace, SplitToHalfNodesPreservesTiming) {
+  FaultTrace trace(4, 10.0, {{2, 1.0, 3.0}});
+  Rng rng(1);
+  const auto half = trace.split_to_half_nodes(rng, /*inherit_prob=*/1.0);
+  EXPECT_EQ(half.node_count(), 8);
+  EXPECT_EQ(half.events().size(), 2u);
+  EXPECT_TRUE(half.faulty_at(2.0)[4]);
+  EXPECT_TRUE(half.faulty_at(2.0)[5]);
+}
+
+TEST(FaultTrace, SplitInheritProbabilityMatchesPaper) {
+  // Appendix A: each 4-GPU half inherits with P = 50.21%, so the 4-GPU
+  // node fault ratio is ~half the 8-GPU ratio.
+  std::vector<FaultEvent> events;
+  for (int n = 0; n < 300; ++n) events.push_back({n, 0.0, 10.0});
+  FaultTrace trace(300, 10.0, events);
+  Rng rng(7);
+  const auto half = trace.split_to_half_nodes(rng);
+  const double ratio8 = 1.0;
+  const double ratio4 =
+      static_cast<double>(half.faulty_count_at(5.0)) / half.node_count();
+  EXPECT_NEAR(ratio4, 0.5021 * ratio8, 0.06);
+}
+
+TEST(FaultTrace, RemapNodesDropsOutOfRange) {
+  FaultTrace trace(10, 5.0, {{1, 0.0, 1.0}, {9, 0.0, 1.0}});
+  const auto small = trace.remap_nodes(5);
+  EXPECT_EQ(small.node_count(), 5);
+  EXPECT_EQ(small.events().size(), 1u);
+  EXPECT_THROW(trace.remap_nodes(0), ConfigError);
+  EXPECT_THROW(trace.remap_nodes(11), ConfigError);
+}
+
+TEST(SampleFaultMask, ExactCount) {
+  Rng rng(1);
+  const auto mask = sample_fault_mask(1000, 0.05, rng);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 50);
+}
+
+TEST(SampleFaultMask, ZeroAndFullRatios) {
+  Rng rng(1);
+  auto none = sample_fault_mask(100, 0.0, rng);
+  auto all = sample_fault_mask(100, 1.0, rng);
+  EXPECT_EQ(std::count(none.begin(), none.end(), true), 0);
+  EXPECT_EQ(std::count(all.begin(), all.end(), true), 100);
+}
+
+TEST(SampleFaultMask, IidApproximatesRatio) {
+  Rng rng(2);
+  int total = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto mask = sample_fault_mask_iid(1000, 0.03, rng);
+    total += static_cast<int>(std::count(mask.begin(), mask.end(), true));
+  }
+  EXPECT_NEAR(total / 50.0 / 1000.0, 0.03, 0.005);
+}
+
+TEST(Generator, CalibratedToPaperStatistics) {
+  // Appendix A / Fig. 18: mean 2.33%, p50 1.67%, p99 7.22% for 8-GPU nodes.
+  const FaultTrace trace = generate_trace();
+  const Summary s = trace.ratio_summary(0.25);
+  EXPECT_NEAR(s.mean, PaperTraceStats::kMeanRatio, 0.006);
+  EXPECT_NEAR(s.p50, PaperTraceStats::kP50Ratio, 0.006);
+  EXPECT_NEAR(s.p99, PaperTraceStats::kP99Ratio, 0.022);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  TraceGenConfig cfg;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_DOUBLE_EQ(a.events()[i].start_day, b.events()[i].start_day);
+  }
+}
+
+TEST(Generator, EventsWithinWindow) {
+  const auto trace = generate_trace();
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.start_day, 0.0);
+    EXPECT_LE(e.end_day, trace.duration_days());
+    EXPECT_GE(e.duration(), 0.0);
+  }
+}
+
+TEST(Generator, SplitTraceHalvesTheRatio) {
+  const auto trace8 = generate_trace();
+  Rng rng(3);
+  const auto trace4 = trace8.split_to_half_nodes(rng);
+  const double mean8 = trace8.ratio_summary(1.0).mean;
+  const double mean4 = trace4.ratio_summary(1.0).mean;
+  EXPECT_NEAR(mean4, mean8 * 0.5021, 0.004);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  TraceGenConfig cfg;
+  cfg.node_count = 0;
+  EXPECT_THROW(generate_trace(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace ihbd::fault

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "src/llmsim/model.h"
+#include "src/llmsim/perf.h"
+
+namespace ihbd::llmsim {
+namespace {
+
+TEST(Model, Llama405bParameterCount) {
+  const auto m = ModelConfig::llama31_405b_mha();
+  // MHA-simplified 405B-class model: ~4.0-4.2e11 parameters.
+  EXPECT_NEAR(m.param_count(), 4.1e11, 0.2e11);
+  EXPECT_DOUBLE_EQ(m.param_count(), m.active_param_count());  // dense
+}
+
+TEST(Model, GptMoeParameterCount) {
+  const auto m = ModelConfig::gpt_moe_1t();
+  // Appendix B: ~1.1T total parameters; top-2 of 8 experts active.
+  EXPECT_NEAR(m.param_count(), 1.13e12, 0.08e12);
+  EXPECT_LT(m.active_param_count(), 0.5 * m.param_count());
+}
+
+TEST(Model, FlopsPerTokenDominatedByMatmul) {
+  const auto m = ModelConfig::llama31_405b_mha();
+  EXPECT_NEAR(m.train_flops_per_token(), 6.0 * m.param_count(),
+              0.1 * 6.0 * m.param_count());
+}
+
+TEST(Model, Table3TrafficFormulas) {
+  // Table 3: TP AllReduce 2bsh (n-1)/n; EP AllToAll adds k/n.
+  const double b = 4, s = 2048, h = 12288;
+  const double tp = tp_allreduce_load(b, s, h, 8);
+  const double ep = ep_alltoall_load(b, s, h, 8, 2);
+  EXPECT_DOUBLE_EQ(tp, 2 * b * s * h * 2.0 * 7 / 8);
+  EXPECT_DOUBLE_EQ(ep, tp * 2 / 8);
+  EXPECT_LT(ep, tp);  // EP is cheaper whenever k < n
+}
+
+TEST(Perf, RejectsIndivisibleStrategies) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  Parallelism bad;
+  bad.tp = 3;  // does not divide hidden
+  EXPECT_FALSE(simulate_training(job, bad).feasible);
+  Parallelism bad2;
+  bad2.pp = 5;  // does not divide 126 layers
+  EXPECT_FALSE(simulate_training(job, bad2).feasible);
+}
+
+TEST(Perf, MemoryGateRejectsTinyParallelism) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  Parallelism tiny;  // 405B on a single GPU
+  tiny.tp = 1;
+  tiny.pp = 1;
+  tiny.dp = 1;
+  const auto r = simulate_training(job, tiny);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.infeasible_why, "exceeds GPU memory");
+}
+
+TEST(Perf, ReasonableMfuAt1024Gpus) {
+  // Table 2 row 1: ~0.52 at 1024 GPUs with TP-16/PP-4/DP-16.
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  Parallelism par;
+  par.tp = 16;
+  par.pp = 4;
+  par.dp = 16;
+  const auto r = simulate_training(job, par);
+  ASSERT_TRUE(r.feasible) << r.infeasible_why;
+  EXPECT_GT(r.mfu, 0.45);
+  EXPECT_LT(r.mfu, 0.60);
+}
+
+TEST(Perf, Tp8CollapsesAtExtremeScale) {
+  // Table 2 last row: TP-8 at 131072 GPUs falls to ~0.055 (huge pipeline
+  // bubble from DP=1024 and only 2 microbatches).
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  const auto r8 = search_best_strategy(job, 131072, /*tp_limit=*/8);
+  ASSERT_TRUE(r8.perf.feasible);
+  EXPECT_LT(r8.perf.mfu, 0.12);
+  const auto open = search_best_strategy(job, 131072);
+  EXPECT_GT(open.perf.mfu / r8.perf.mfu, 2.0);  // paper: 3.37x
+}
+
+TEST(Perf, OptimalTpGrowsWithScale) {
+  // Table 2 trend: optimal TP grows from 8-16 at 1k GPUs to 32-64+ at 32k+.
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  const auto small = search_best_strategy(job, 1024);
+  const auto large = search_best_strategy(job, 32768);
+  ASSERT_TRUE(small.perf.feasible);
+  ASSERT_TRUE(large.perf.feasible);
+  EXPECT_LE(small.best.tp, 16);
+  EXPECT_GE(large.best.tp, 32);
+  EXPECT_GT(large.best.tp, small.best.tp);
+}
+
+TEST(Perf, MfuDecaysWithScaleAtFixedBatch) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  double prev = 1.0;
+  for (int gpus : {1024, 4096, 16384, 65536}) {
+    const auto r = search_best_strategy(job, gpus);
+    ASSERT_TRUE(r.perf.feasible) << gpus;
+    EXPECT_LT(r.perf.mfu, prev) << gpus;
+    prev = r.perf.mfu;
+  }
+}
+
+TEST(Perf, BubbleFractionFormula) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  Parallelism par;
+  par.tp = 16;
+  par.pp = 4;
+  par.dp = 16;  // n_micro = 128
+  const auto r = simulate_training(job, par);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.bubble_fraction, 3.0 / 131.0, 1e-9);
+}
+
+TEST(Perf, ExpertImbalanceDegradesEp) {
+  // Table 4 trend: EP MFU decays as the imbalance coefficient grows.
+  TrainJob job;
+  job.model = ModelConfig::gpt_moe_1t();
+  job.global_batch = 1536;
+  Parallelism par;
+  par.tp = 8;
+  par.pp = 4;
+  par.dp = 32;
+  par.ep = 8;
+  par.vpp = 3;
+  double prev = 1.0;
+  for (double coef : {0.0, 0.1, 0.2, 0.3}) {
+    job.expert_imbalance = coef;
+    const auto r = simulate_training(job, par);
+    ASSERT_TRUE(r.feasible) << r.infeasible_why;
+    EXPECT_LT(r.mfu, prev);
+    prev = r.mfu;
+  }
+}
+
+TEST(Perf, ImbalanceDoesNotAffectTpOnlyMoe) {
+  // TP shards every expert equally -> no straggler effect (§2.3).
+  TrainJob job;
+  job.model = ModelConfig::gpt_moe_1t();
+  job.global_batch = 1536;
+  Parallelism par;
+  par.tp = 16;
+  par.pp = 4;
+  par.dp = 16;
+  par.ep = 1;
+  par.vpp = 3;
+  job.expert_imbalance = 0.0;
+  const double mfu0 = simulate_training(job, par).mfu;
+  job.expert_imbalance = 0.3;
+  const double mfu3 = simulate_training(job, par).mfu;
+  EXPECT_DOUBLE_EQ(mfu0, mfu3);
+}
+
+TEST(Perf, MoeSearchPrefersTpOverEp) {
+  // Table 5: with 20% practical imbalance, optimal EP = 1 at every scale.
+  TrainJob job;
+  job.model = ModelConfig::gpt_moe_1t();
+  job.global_batch = 1536;
+  job.expert_imbalance = 0.20;
+  for (int gpus : {1024, 4096, 16384}) {
+    const auto r = search_best_strategy(job, gpus);
+    ASSERT_TRUE(r.perf.feasible) << gpus;
+    EXPECT_EQ(r.best.ep, 1) << gpus;
+  }
+}
+
+TEST(Perf, SearchRespectsTpLimit) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  const auto r = search_best_strategy(job, 8192, /*tp_limit=*/8);
+  ASSERT_TRUE(r.perf.feasible);
+  EXPECT_LE(r.best.tp, 8);
+}
+
+TEST(Perf, AccountingIsInternallyConsistent) {
+  TrainJob job;
+  job.model = ModelConfig::llama31_405b_mha();
+  Parallelism par;
+  par.tp = 32;
+  par.pp = 8;
+  par.dp = 8;
+  const auto r = simulate_training(job, par);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.iter_time_s,
+            r.compute_time_s + r.tp_comm_time_s);  // bubble adds time
+  EXPECT_GE(r.bubble_fraction, 0.0);
+  EXPECT_LT(r.bubble_fraction, 1.0);
+  EXPECT_GT(r.memory_bytes, 0.0);
+}
+
+TEST(Perf, ParallelismToString) {
+  Parallelism par;
+  par.tp = 16;
+  par.pp = 4;
+  par.dp = 16;
+  EXPECT_EQ(par.to_string(), "TP16/PP4/DP16");
+  par.ep = 8;
+  EXPECT_EQ(par.to_string(), "TP16/PP4/DP16/EP8");
+}
+
+}  // namespace
+}  // namespace ihbd::llmsim

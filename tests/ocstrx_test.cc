@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/evsim/engine.h"
+#include "src/ocstrx/bundle.h"
+#include "src/ocstrx/fabric_manager.h"
+#include "src/ocstrx/transceiver.h"
+
+namespace ihbd::ocstrx {
+namespace {
+
+TEST(Transceiver, StartsIdleAndDark) {
+  Transceiver trx(0);
+  EXPECT_EQ(trx.state(), TrxState::kIdle);
+  EXPECT_FALSE(trx.active_path().has_value());
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kExternal1), 0.0);
+}
+
+TEST(Transceiver, SynchronousReconfigureActivates) {
+  Transceiver trx(0);
+  Rng rng(1);
+  const auto latency = trx.reconfigure_now(OcsPath::kExternal1, rng);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GE(*latency, 60e-6);
+  EXPECT_LE(*latency, 80e-6);
+  EXPECT_EQ(trx.state(), TrxState::kActive);
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kExternal1), 800.0);
+}
+
+TEST(Transceiver, TimeDivisionExclusivity) {
+  // §4.1 Design 1: activating one path completely disables the others.
+  Transceiver trx(0);
+  Rng rng(1);
+  trx.reconfigure_now(OcsPath::kExternal1, rng);
+  trx.reconfigure_now(OcsPath::kExternal2, rng);
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kExternal1), 0.0);
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kExternal2), 800.0);
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kLoopback), 0.0);
+}
+
+TEST(Transceiver, ReconfigureToSamePathIsFree) {
+  Transceiver trx(0);
+  Rng rng(1);
+  trx.reconfigure_now(OcsPath::kLoopback, rng);
+  const auto again = trx.reconfigure_now(OcsPath::kLoopback, rng);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(*again, 0.0);
+}
+
+TEST(Transceiver, ControlPlaneLatencyWhenNotPreloaded) {
+  Transceiver trx(0);
+  Rng rng(1);
+  const auto cold =
+      trx.reconfigure_now(OcsPath::kExternal1, rng, /*preloaded=*/false);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_GT(*cold, 500e-6);  // hardware + control plane
+}
+
+TEST(Transceiver, EventDrivenReconfiguration) {
+  Transceiver trx(0);
+  Rng rng(1);
+  evsim::Engine engine;
+  bool done = false;
+  ASSERT_TRUE(trx.reconfigure(engine, OcsPath::kExternal1, rng,
+                              /*preloaded=*/true, [&] { done = true; }));
+  EXPECT_EQ(trx.state(), TrxState::kReconfiguring);
+  EXPECT_DOUBLE_EQ(trx.bandwidth_gbps(OcsPath::kExternal1), 0.0);
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(trx.state(), TrxState::kActive);
+  EXPECT_GE(engine.now(), 60e-6);
+  EXPECT_LE(engine.now(), 80e-6);
+}
+
+TEST(Transceiver, RejectsReconfigureWhileInFlight) {
+  Transceiver trx(0);
+  Rng rng(1);
+  evsim::Engine engine;
+  ASSERT_TRUE(trx.reconfigure(engine, OcsPath::kExternal1, rng, true));
+  EXPECT_FALSE(trx.reconfigure(engine, OcsPath::kExternal2, rng, true));
+}
+
+TEST(Transceiver, FailureDropsInFlightCompletion) {
+  Transceiver trx(0);
+  Rng rng(1);
+  evsim::Engine engine;
+  bool done = false;
+  trx.reconfigure(engine, OcsPath::kExternal1, rng, true, [&] { done = true; });
+  trx.fail();
+  engine.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(trx.state(), TrxState::kFailed);
+}
+
+TEST(Transceiver, FailAndRepairLifecycle) {
+  Transceiver trx(0);
+  Rng rng(1);
+  trx.fail();
+  EXPECT_FALSE(trx.healthy());
+  EXPECT_FALSE(trx.reconfigure_now(OcsPath::kExternal1, rng).has_value());
+  trx.repair();
+  EXPECT_TRUE(trx.healthy());
+  EXPECT_TRUE(trx.reconfigure_now(OcsPath::kExternal1, rng).has_value());
+}
+
+TEST(Bundle, AggregatesLineRate) {
+  Bundle b(0, 0, 1, 8);
+  EXPECT_DOUBLE_EQ(b.total_line_rate_gbps(), 6400.0);  // 8 x 800G = 6.4 Tbps
+}
+
+TEST(Bundle, SteerMovesAllMembers) {
+  Bundle b(0, 0, 1, 8);
+  Rng rng(1);
+  const auto latency = b.steer(OcsPath::kExternal1, rng);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(b.bandwidth_gbps(OcsPath::kExternal1), 6400.0);
+  EXPECT_DOUBLE_EQ(b.bandwidth_gbps(OcsPath::kLoopback), 0.0);
+}
+
+TEST(Bundle, PartialFailureDegradesBandwidth) {
+  Bundle b(0, 0, 1, 8);
+  Rng rng(1);
+  b.steer(OcsPath::kExternal1, rng);
+  b.fail_one(3);
+  EXPECT_FALSE(b.healthy());
+  EXPECT_DOUBLE_EQ(b.bandwidth_gbps(OcsPath::kExternal1), 5600.0);
+}
+
+TEST(Bundle, SteerFailsWhenMemberFailed) {
+  Bundle b(0, 0, 1, 4);
+  Rng rng(1);
+  b.fail_one(0);
+  EXPECT_FALSE(b.steer(OcsPath::kExternal2, rng).has_value());
+  b.repair();
+  EXPECT_TRUE(b.steer(OcsPath::kExternal2, rng).has_value());
+}
+
+TEST(Bundle, AsyncSteerCompletesViaBarrier) {
+  Bundle b(0, 0, 1, 4);
+  Rng rng(1);
+  evsim::Engine engine;
+  bool done = false;
+  ASSERT_TRUE(b.steer_async(engine, OcsPath::kExternal1, rng, true,
+                            [&] { done = true; }));
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(b.bandwidth_gbps(OcsPath::kExternal1), 3200.0);
+}
+
+TEST(FabricManager, RejectsBadConfigs) {
+  EXPECT_THROW(NodeFabricManager(1, 1, 8), ConfigError);
+  EXPECT_THROW(NodeFabricManager(4, 5, 8), ConfigError);
+  EXPECT_THROW(NodeFabricManager(4, 4, 0), ConfigError);
+}
+
+TEST(FabricManager, SessionPreloadAndApply) {
+  NodeFabricManager fm(4, 4, 2);
+  Rng rng(1);
+  Session ring;
+  ring[0] = OcsPath::kExternal1;
+  ring[1] = OcsPath::kExternal1;
+  ring[2] = OcsPath::kLoopback;
+  ring[3] = OcsPath::kLoopback;
+  fm.preload_session("ring", ring);
+  EXPECT_TRUE(fm.has_session("ring"));
+  const auto latency = fm.apply_session("ring", rng);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_LE(*latency, 80e-6);  // fast switch: hardware latency only
+  EXPECT_DOUBLE_EQ(fm.external_bandwidth_gbps(), 2 * 2 * 800.0);
+}
+
+TEST(FabricManager, UnknownSessionFails) {
+  NodeFabricManager fm(4, 4, 1);
+  Rng rng(1);
+  EXPECT_FALSE(fm.apply_session("nope", rng).has_value());
+}
+
+TEST(FabricManager, AdhocPaysControlPlane) {
+  NodeFabricManager fm(4, 2, 1);
+  Rng rng(1);
+  Session s;
+  s[0] = OcsPath::kExternal2;
+  const auto latency = fm.apply_adhoc(s, rng);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GT(*latency, 500e-6);
+}
+
+TEST(FabricManager, ParkAllLoopback) {
+  NodeFabricManager fm(4, 4, 2);
+  Rng rng(1);
+  fm.park_all_loopback(rng);
+  EXPECT_DOUBLE_EQ(fm.external_bandwidth_gbps(), 0.0);
+  for (int b = 0; b < fm.bundle_count(); ++b)
+    EXPECT_DOUBLE_EQ(fm.bundle(b).bandwidth_gbps(OcsPath::kLoopback),
+                     2 * 800.0);
+}
+
+TEST(FabricManager, HealthTracksBundles) {
+  NodeFabricManager fm(4, 4, 1);
+  EXPECT_TRUE(fm.healthy());
+  fm.bundle(2).fail();
+  EXPECT_FALSE(fm.healthy());
+  fm.bundle(2).repair();
+  EXPECT_TRUE(fm.healthy());
+}
+
+}  // namespace
+}  // namespace ihbd::ocstrx

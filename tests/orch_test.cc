@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/error.h"
+#include "src/fault/trace.h"
+#include "src/orch/orchestrator.h"
+
+namespace ihbd::orch {
+namespace {
+
+dcn::FatTree test_tree(int nodes = 1024, int p = 4, int tors_per_domain = 32) {
+  dcn::FatTreeConfig cfg;
+  cfg.node_count = nodes;
+  cfg.nodes_per_tor = p;
+  cfg.tors_per_domain = tors_per_domain;
+  return dcn::FatTree(cfg);
+}
+
+TEST(Deployment, InterleavesSublines) {
+  // Algorithm 3 on 8 nodes, p=2: sub-line 0 = {0,2,4,6}, sub-line 1 =
+  // {1,3,5,7}, concatenated.
+  const auto order = deployment_order(8, 2);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(Deployment, CoversEveryNodeOnce) {
+  const auto order = deployment_order(64, 4);
+  std::set<int> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(DcnFree, GroupsHealthyRuns) {
+  // 10 nodes in order, node 3 faulty, K=2, m=3: component {0,1,2,4,5,6,7,
+  // 8,9} bridges the gap -> 3 groups.
+  std::vector<int> order(10);
+  for (int i = 0; i < 10; ++i) order[i] = i;
+  std::vector<bool> faulty(10, false);
+  faulty[3] = true;
+  const auto groups = orchestrate_dcn_free(order, 2, faulty, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(DcnFree, BreakpointSplitsComponents) {
+  std::vector<int> order(10);
+  for (int i = 0; i < 10; ++i) order[i] = i;
+  std::vector<bool> faulty(10, false);
+  faulty[4] = faulty[5] = true;  // gap of 2 > K-1 for K=2
+  const auto groups = orchestrate_dcn_free(order, 2, faulty, 4);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(DcnFree, RespectsCustomOrder) {
+  // Deploy order is not physical order: groups follow the given order.
+  std::vector<int> order{0, 4, 8, 12};
+  std::vector<bool> faulty(16, false);
+  const auto groups = orchestrate_dcn_free(order, 2, faulty, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{0, 4}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{8, 12}));
+}
+
+TEST(Orchestrator, FullConstraintsAlignedWhenHealthy) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, false);
+  JobSpec job;
+  job.tp_size_gpus = 32;  // m = 8 = chunk length
+  job.gpu_count = 3600;
+  const auto placement = orch.place(faulty, job, orch.max_constraints());
+  // Every group carved from a chunk carries deployment coordinates.
+  for (const auto& g : placement.groups) {
+    EXPECT_GE(g.subline, 0);
+    EXPECT_GE(g.domain, 0);
+    EXPECT_EQ(g.group.nodes.size(), 8u);
+  }
+  EXPECT_EQ(placement.gpu_count(4), 1024 * 4);
+}
+
+TEST(Orchestrator, ZeroConstraintsIsPureDcnFree) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, false);
+  JobSpec job{32, 2048};
+  const auto placement = orch.place(faulty, job, 0);
+  for (const auto& g : placement.groups) EXPECT_EQ(g.pos, -1);
+}
+
+TEST(Orchestrator, CapacityMonotoneInConstraints) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  Rng rng(3);
+  const auto mask = fault::sample_fault_mask(1024, 0.06, rng);
+  JobSpec job{32, 0};
+  int prev = 1 << 30;
+  for (int c : {0, 8, 16, 32, orch.max_constraints()}) {
+    const int cap = orch.place(mask, job, c).gpu_count(4);
+    EXPECT_LE(cap, prev) << "constraints " << c;
+    prev = cap;
+  }
+}
+
+TEST(Orchestrator, AlignmentExpandsFaultsToToR) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, false);
+  faulty[0] = true;  // domain 0, ToR 0
+  JobSpec job{32, 0};
+  const int full = orch.max_constraints();
+  const auto aligned = orch.place(faulty, job, full);
+  const auto carved_only =
+      orch.place(faulty, job, full - ft.domain_count());
+  // Alignment wastes the whole ToR (p=4 nodes) instead of one node.
+  EXPECT_LT(aligned.gpu_count(4), carved_only.gpu_count(4));
+  // Node 1 (same ToR) must be absent from the aligned placement.
+  for (const auto& g : aligned.groups)
+    for (int node : g.group.nodes) EXPECT_NE(node, 1);
+}
+
+TEST(Orchestrator, BinarySearchSatisfiesJob) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  Rng rng(5);
+  const auto mask = fault::sample_fault_mask(1024, 0.05, rng);
+  JobSpec job{32, 3300};
+  const auto placement = orch.orchestrate(mask, job);
+  EXPECT_GE(placement.gpu_count(4), 3300);
+}
+
+TEST(Orchestrator, ThrowsWhenInfeasible) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, true);  // everything down
+  JobSpec job{32, 512};
+  EXPECT_THROW(orch.orchestrate(faulty, job), InfeasibleError);
+}
+
+TEST(Orchestrator, PlacedNodesAreHealthyAndUnique) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  Rng rng(7);
+  const auto mask = fault::sample_fault_mask(1024, 0.08, rng);
+  JobSpec job{32, 2048};
+  const auto placement = orch.orchestrate(mask, job);
+  std::set<int> seen;
+  for (const auto& g : placement.groups) {
+    for (int node : g.group.nodes) {
+      EXPECT_FALSE(mask[static_cast<std::size_t>(node)]);
+      EXPECT_TRUE(seen.insert(node).second) << "node reused: " << node;
+    }
+  }
+}
+
+TEST(Greedy, ProducesFeasiblePlacement) {
+  const auto ft = test_tree();
+  Rng rng(9);
+  const auto mask = fault::sample_fault_mask(1024, 0.05, rng);
+  JobSpec job{32, 2800};
+  const auto placement = greedy_baseline(ft, 2, 4, mask, job, rng);
+  EXPECT_GE(placement.gpu_count(4), 2800);
+  for (const auto& g : placement.groups) EXPECT_EQ(g.group.nodes.size(), 8u);
+}
+
+TEST(Greedy, RandomizesGroupOrder) {
+  const auto ft = test_tree();
+  Rng rng_a(1), rng_b(2);
+  std::vector<bool> faulty(1024, false);
+  JobSpec job{32, 4096};
+  const auto a = greedy_baseline(ft, 2, 4, faulty, job, rng_a);
+  const auto b = greedy_baseline(ft, 2, 4, faulty, job, rng_b);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.groups.size(); ++i)
+    if (a.groups[i].group.nodes != b.groups[i].group.nodes) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EndToEnd, OptimizedBeatsGreedyOnCrossToR) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  Rng rng(11);
+  const auto mask = fault::sample_fault_mask(1024, 0.04, rng);
+  JobSpec job{32, static_cast<int>(1024 * 4 * 0.8)};
+
+  const auto optimized = orch.orchestrate(mask, job);
+  const auto greedy = greedy_baseline(ft, 2, 4, mask, job, rng);
+  const int use = job.gpu_count / job.tp_size_gpus;
+  const auto opt_stats = dcn::evaluate_cross_tor(ft, optimized, 4, {}, use);
+  const auto greedy_stats = dcn::evaluate_cross_tor(ft, greedy, 4, {}, use);
+  EXPECT_LT(opt_stats.cross_tor_rate(), greedy_stats.cross_tor_rate() * 0.5);
+  EXPECT_NEAR(greedy_stats.cross_tor_rate(), 0.10, 0.035);
+}
+
+}  // namespace
+}  // namespace ihbd::orch

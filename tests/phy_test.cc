@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/phy/ber.h"
+#include "src/phy/mzi.h"
+#include "src/phy/switch_matrix.h"
+
+namespace ihbd::phy {
+namespace {
+
+TEST(Mzi, TransferConservesPower) {
+  MziElement mzi;
+  for (double phase : {0.0, 0.5, 1.0, M_PI / 2, M_PI}) {
+    const double total = mzi.transfer_bar(phase) + mzi.transfer_cross(phase);
+    EXPECT_NEAR(total, 1.0, 0.01) << "phase " << phase;
+  }
+}
+
+TEST(Mzi, BarAndCrossStatesRoute) {
+  MziElement mzi;
+  // Phase 0: bar dominates. Phase pi: cross dominates.
+  EXPECT_GT(mzi.transfer_bar(0.0), 0.99);
+  EXPECT_LT(mzi.transfer_cross(0.0), 0.01);
+  EXPECT_GT(mzi.transfer_cross(M_PI), 0.99);
+  EXPECT_LT(mzi.transfer_bar(M_PI), 0.01);
+}
+
+TEST(Mzi, TargetPhaseFollowsState) {
+  MziElement mzi;
+  mzi.set_state(MziState::kBar);
+  EXPECT_DOUBLE_EQ(mzi.target_phase_rad(), 0.0);
+  mzi.set_state(MziState::kCross);
+  EXPECT_DOUBLE_EQ(mzi.target_phase_rad(), M_PI);
+}
+
+TEST(Mzi, HoldPowerDropsWithAmbient) {
+  MziElement mzi;
+  mzi.set_state(MziState::kCross);
+  EXPECT_GT(mzi.hold_power_w(0.0), mzi.hold_power_w(85.0));
+}
+
+TEST(Mzi, CrossStateUsesMorePowerThanBar) {
+  MziElement cross, bar;
+  cross.set_state(MziState::kCross);
+  bar.set_state(MziState::kBar);
+  EXPECT_GT(cross.hold_power_w(25.0), bar.hold_power_w(25.0));
+}
+
+TEST(Mzi, LossGrowsWithTemperature) {
+  MziElement mzi;
+  EXPECT_LT(mzi.mean_loss_db(0.0), mzi.mean_loss_db(85.0));
+}
+
+TEST(SwitchMatrix, StageCounts) {
+  OcsSwitchMatrix m;  // 8 lanes
+  EXPECT_EQ(m.stages_for(OcsPath::kExternal1), 3);
+  EXPECT_EQ(m.stages_for(OcsPath::kExternal2), 3);
+  EXPECT_EQ(m.stages_for(OcsPath::kLoopback), 6);  // + log2(8) matrix stages
+}
+
+TEST(SwitchMatrix, ExternalPathsHaveConsistentLoss) {
+  OcsSwitchMatrix m;
+  EXPECT_DOUBLE_EQ(m.mean_insertion_loss_db(OcsPath::kExternal1, 25.0),
+                   m.mean_insertion_loss_db(OcsPath::kExternal2, 25.0));
+}
+
+TEST(SwitchMatrix, MeanLossMatchesPaperAtRoomTemp) {
+  // Paper §5.1: average insertion loss 3.3 dB at 25 C.
+  OcsSwitchMatrix m;
+  EXPECT_NEAR(m.mean_insertion_loss_db(OcsPath::kExternal1, 25.0), 3.3, 0.05);
+}
+
+TEST(SwitchMatrix, SampledLossWithinPaperEnvelope) {
+  // Paper §5.1: measured 2.5 - 4.0 dB across units at room temperature.
+  OcsSwitchMatrix m;
+  Rng rng(1);
+  std::vector<double> losses;
+  for (int i = 0; i < 2000; ++i)
+    losses.push_back(m.sample_insertion_loss_db(OcsPath::kExternal1, 25.0,
+                                                rng));
+  const Summary s = summarize(losses);
+  EXPECT_NEAR(s.mean, 3.3, 0.1);
+  EXPECT_GT(s.min, 2.3);
+  EXPECT_LT(s.max, 4.3);
+}
+
+class SwitchMatrixTemp : public ::testing::TestWithParam<double> {};
+
+TEST_P(SwitchMatrixTemp, PowerBelowSpecAcrossTemperatures) {
+  // Paper Fig. 10b: core module < 3.2 W across 0-85 C for all three paths.
+  OcsSwitchMatrix m;
+  const double temp = GetParam();
+  for (auto path :
+       {OcsPath::kExternal1, OcsPath::kExternal2, OcsPath::kLoopback}) {
+    const double watts = m.drive_power_w(path, temp);
+    EXPECT_GT(watts, 2.5) << "temp " << temp;
+    EXPECT_LE(watts, 3.2) << "temp " << temp;
+  }
+}
+
+TEST_P(SwitchMatrixTemp, LossWithinOperatingEnvelope) {
+  OcsSwitchMatrix m;
+  const double mu =
+      m.mean_insertion_loss_db(OcsPath::kExternal1, GetParam());
+  EXPECT_GT(mu, 2.8);
+  EXPECT_LT(mu, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, SwitchMatrixTemp,
+                         ::testing::Values(0.0, 25.0, 50.0, 85.0));
+
+TEST(SwitchMatrix, LoopbackCostsMoreThanExternal) {
+  OcsSwitchMatrix m;
+  EXPECT_GT(m.mean_insertion_loss_db(OcsPath::kLoopback, 25.0),
+            m.mean_insertion_loss_db(OcsPath::kExternal1, 25.0));
+  EXPECT_GT(m.drive_power_w(OcsPath::kLoopback, 25.0),
+            m.drive_power_w(OcsPath::kExternal1, 25.0));
+}
+
+TEST(SwitchMatrix, ReconfigLatencyInPaperWindow) {
+  // Paper §5.1: 60-80 us hardware reconfiguration latency.
+  OcsSwitchMatrix m;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double t = m.sample_reconfig_latency_s(rng);
+    EXPECT_GE(t, 60e-6);
+    EXPECT_LE(t, 80e-6);
+  }
+}
+
+TEST(Ber, ZeroAtRoomTempAcrossOma) {
+  // Paper Fig. 12: at -5 C and 25 C, BER was consistently 0.
+  OcsSwitchMatrix m;
+  BerModel ber(m);
+  Rng rng(3);
+  for (double temp : {-5.0, 25.0}) {
+    for (double oma = 0.3; oma <= 1.2; oma += 0.1) {
+      for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ber.measure_ber(OcsPath::kExternal1, oma, temp, rng), 0.0)
+            << "oma " << oma << " temp " << temp;
+    }
+  }
+}
+
+TEST(Ber, OccasionalErrorsAtHighTempLowOma) {
+  // Paper Fig. 12: at 50/75 C, occasional errors only at very low OMA.
+  OcsSwitchMatrix m;
+  BerModel ber(m);
+  Rng rng(4);
+  int nonzero_low = 0, nonzero_high = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (ber.measure_ber(OcsPath::kExternal1, 0.25, 75.0, rng) > 0.0)
+      ++nonzero_low;
+    if (ber.measure_ber(OcsPath::kExternal1, 1.0, 75.0, rng) > 0.0)
+      ++nonzero_high;
+  }
+  EXPECT_GT(nonzero_low, 0);          // some errors at very low OMA
+  EXPECT_LT(nonzero_low, 300);        // but not systematic
+  EXPECT_LT(nonzero_high, nonzero_low);  // high OMA is (near) clean
+}
+
+TEST(Ber, QFactorMonotoneInOma) {
+  OcsSwitchMatrix m;
+  BerModel ber(m);
+  EXPECT_LT(ber.q_factor(OcsPath::kExternal1, 0.2, 25.0),
+            ber.q_factor(OcsPath::kExternal1, 0.8, 25.0));
+}
+
+TEST(Ber, QFactorDegradesWithTemperature) {
+  OcsSwitchMatrix m;
+  BerModel ber(m);
+  EXPECT_GT(ber.q_factor(OcsPath::kExternal1, 0.5, 25.0),
+            ber.q_factor(OcsPath::kExternal1, 0.5, 75.0));
+}
+
+TEST(Ber, BerFromQLimits) {
+  EXPECT_DOUBLE_EQ(BerModel::ber_from_q(0.0), 0.5);
+  EXPECT_LT(BerModel::ber_from_q(14.0), 1e-20);
+  EXPECT_GT(BerModel::ber_from_q(2.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace ihbd::phy
