@@ -1,8 +1,15 @@
 // Reproduces paper Fig. 14 (TP-16/TP-32) and Fig. 22 (TP-8..TP-64): mean
 // GPU waste ratio as the node fault ratio sweeps 0-10% (i.i.d. fault
 // model), per HBD architecture, 4-GPU nodes.
+//
+// Runs on the runtime sweep engine: every (TP, fault-ratio, arch, trial)
+// draws from its own RNG substream, so the tables are bit-identical for any
+// --threads value while the grid fans out across all cores.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
+#include "src/fault/trace.h"
+#include "src/runtime/report.h"
+#include "src/runtime/sweep.h"
 
 using namespace ihbd;
 
@@ -11,27 +18,45 @@ int main(int argc, char** argv) {
   bench::banner("Figures 14 & 22: GPU waste ratio vs node fault ratio");
 
   const auto archs = bench::make_archs();
-  const int trials = opt.quick ? 30 : 200;
-  Rng rng(14);
+  const int trials = bench::trials_or(opt, opt.quick ? 30 : 200);
 
-  for (int tp : {8, 16, 32, 64}) {
-    Table table("TP-" + std::to_string(tp) + ": mean waste ratio (" +
-                std::to_string(trials) + " trials per point)");
-    std::vector<std::string> header{"Fault ratio"};
-    for (const auto& arch : archs)
-      if (bench::arch_supports_tp(*arch, tp)) header.push_back(arch->name());
-    table.set_header(header);
+  runtime::SweepSpec spec;
+  spec.seed = 14;
+  spec.trials = trials;
+  std::vector<std::string> arch_names;
+  for (const auto& arch : archs) arch_names.push_back(arch->name());
+  spec.axes = {
+      runtime::Axis::of_values("TP", {8, 16, 32, 64}),
+      runtime::Axis::of_values("Fault ratio",
+                               {0.0, 0.01, 0.02, 0.03, 0.05, 0.07, 0.10},
+                               [](double f) { return Table::pct(f, 0); }),
+      runtime::Axis::of_labels("Arch", arch_names),
+  };
 
-    for (double f : {0.0, 0.01, 0.02, 0.03, 0.05, 0.07, 0.10}) {
-      std::vector<std::string> row{Table::pct(f, 0)};
-      for (const auto& arch : archs) {
-        if (!bench::arch_supports_tp(*arch, tp)) continue;
-        row.push_back(Table::pct(
-            topo::mean_waste_at_ratio(*arch, f, tp, trials, rng)));
-      }
-      table.add_row(row);
-    }
-    bench::emit(opt, "fig14_waste_vs_fault_tp" + std::to_string(tp), table);
+  const auto result = runtime::run_sweep(
+      spec,
+      [&](const runtime::Scenario& s, Rng& rng) {
+        const int tp = static_cast<int>(s.value(0));
+        const auto& arch = *archs[s.index(2)];
+        if (!bench::arch_supports_tp(arch, tp))
+          return std::numeric_limits<double>::quiet_NaN();
+        const auto mask =
+            fault::sample_fault_mask(arch.node_count(), s.value(1), rng);
+        return arch.allocate(mask, tp).waste_ratio();
+      },
+      opt.threads);
+
+  for (std::size_t t = 0; t < spec.axes[0].size(); ++t) {
+    const int tp = static_cast<int>(spec.axes[0].values[t]);
+    runtime::ReportSpec report;
+    report.title = "TP-" + std::to_string(tp) + ": mean waste ratio (" +
+                   std::to_string(trials) + " trials per point)";
+    report.row_axis = 1;
+    report.col_axis = 2;
+    report.fixed = {{0, t}};
+    report.format = [](double v) { return Table::pct(v); };
+    bench::emit(opt, "fig14_waste_vs_fault_tp" + std::to_string(tp),
+                runtime::to_table(result, report));
   }
   return 0;
 }

@@ -1,8 +1,13 @@
 // Reproduces paper Fig. 16 (TP-16/TP-32) and Fig. 23 (TP-8..TP-64): the
 // fraction of time a job of a given scale must wait for repairs because
 // usable GPUs fall below its requirement, over the production trace.
+//
+// The expensive part — replaying the 348-day trace per (TP, architecture)
+// pair — fans out across the runtime thread pool; results are assembled in
+// deterministic pair order, so output is identical for any --threads value.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
+#include "src/runtime/thread_pool.h"
 
 using namespace ihbd;
 
@@ -12,26 +17,39 @@ int main(int argc, char** argv) {
 
   const auto trace = bench::make_sim_trace(opt.quick);
   const auto archs = bench::make_archs();
+  const std::vector<int> tps{8, 16, 32, 64};
 
-  for (int tp : {8, 16, 32, 64}) {
+  // Flatten the (TP, arch) grid, skipping unsupported combinations.
+  struct Cell {
+    int tp;
+    const topo::HbdArchitecture* arch;
+  };
+  std::vector<Cell> grid;
+  for (int tp : tps)
+    for (const auto& arch : archs)
+      if (bench::arch_supports_tp(*arch, tp)) grid.push_back({tp, arch.get()});
+
+  const auto usable = runtime::parallel_map(
+      grid,
+      [&](const Cell& cell) {
+        return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp, 1.0)
+            .usable_gpus;
+      },
+      opt.threads);
+
+  std::size_t next = 0;
+  for (int tp : tps) {
     Table table("TP-" + std::to_string(tp) + ": fault-waiting rate");
     std::vector<std::string> header{"Job scale (GPU)"};
-    for (const auto& arch : archs)
-      if (bench::arch_supports_tp(*arch, tp)) header.push_back(arch->name());
+    const std::size_t begin = next;
+    for (; next < grid.size() && grid[next].tp == tp; ++next)
+      header.push_back(grid[next].arch->name());
     table.set_header(header);
-
-    // Pre-compute each architecture's usable series once.
-    std::vector<TimeSeries> usable;
-    for (const auto& arch : archs) {
-      if (!bench::arch_supports_tp(*arch, tp)) continue;
-      usable.push_back(
-          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0).usable_gpus);
-    }
 
     for (int scale : {1920, 2176, 2432, 2560, 2688, 2816}) {
       std::vector<std::string> row{std::to_string(scale)};
-      for (const auto& series : usable)
-        row.push_back(Table::pct(topo::fault_waiting_rate(series, scale)));
+      for (std::size_t i = begin; i < next; ++i)
+        row.push_back(Table::pct(topo::fault_waiting_rate(usable[i], scale)));
       table.add_row(row);
     }
     bench::emit(opt, "fig16_fault_waiting_tp" + std::to_string(tp), table);

@@ -1,9 +1,14 @@
 // Reproduces paper Table 7 (Appendix C): the analytic upper bound on the
 // expected GPU waste ratio, 2 (Nt - R) Ps^K, for TP-32 at the production
 // p99 fault rates - validated against the Monte-Carlo simulator.
+//
+// The Monte-Carlo column runs on the runtime sweep engine: one substream
+// per (row, trial), bit-stable for any --threads value.
+#include <memory>
+
 #include "bench/bench_util.h"
-#include "src/common/rng.h"
 #include "src/fault/trace.h"
+#include "src/runtime/sweep.h"
 #include "src/topo/khop_ring.h"
 
 using namespace ihbd;
@@ -13,37 +18,54 @@ int main(int argc, char** argv) {
   bench::banner("Table 7: analytic waste-ratio upper bound (Appendix C)");
 
   const int tp = 32;
-  const int trials = opt.quick ? 100 : 400;
+  const int trials = bench::trials_or(opt, opt.quick ? 100 : 400);
 
-  Table table("Upper bound for waste-ratio expectation, Nt = 32");
-  table.set_header({"R", "Ps", "K", "Bound", "Paper", "Monte-Carlo mean"});
-  struct Row {
+  struct Config {
     int r;
     double ps;
     int k;
     const char* paper;
   };
-  const Row rows[] = {
+  const Config configs[] = {
       {4, 0.0367, 2, "7.54%"},   {4, 0.0367, 3, "0.28%"},
       {4, 0.0367, 4, "1.02e-4"}, {8, 0.0722, 2, "25.02%"},
       {8, 0.0722, 3, "1.81%"},   {8, 0.0722, 4, "0.13%"},
   };
-  Rng rng(7);
-  for (const auto& row : rows) {
+
+  // One k-hop ring per table row, shared read-only across trials.
+  std::vector<std::unique_ptr<topo::KHopRing>> rings;
+  std::vector<std::string> row_labels;
+  for (const auto& cfg : configs) {
+    const int nodes = 400 * (tp / cfg.r);
+    rings.push_back(std::make_unique<topo::KHopRing>(nodes, cfg.r, cfg.k));
+    row_labels.push_back("R=" + std::to_string(cfg.r) +
+                         " K=" + std::to_string(cfg.k));
+  }
+
+  runtime::SweepSpec spec;
+  spec.seed = 7;
+  spec.trials = trials;
+  spec.axes = {runtime::Axis::of_labels("Config", row_labels)};
+  const auto result = runtime::run_sweep(
+      spec,
+      [&](const runtime::Scenario& s, Rng& rng) {
+        const auto& cfg = configs[s.index(0)];
+        const auto& ring = *rings[s.index(0)];
+        const auto mask =
+            fault::sample_fault_mask_iid(ring.node_count(), cfg.ps, rng);
+        return ring.allocate(mask, tp).waste_ratio();
+      },
+      opt.threads);
+
+  Table table("Upper bound for waste-ratio expectation, Nt = 32");
+  table.set_header({"R", "Ps", "K", "Bound", "Paper", "Monte-Carlo mean"});
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    const auto& cfg = configs[i];
     const double bound =
-        topo::waste_ratio_upper_bound(tp, row.r, row.ps, row.k);
-    const int m = tp / row.r;
-    const int nodes = 400 * m;
-    topo::KHopRing ring(nodes, row.r, row.k);
-    double mc = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      const auto mask = fault::sample_fault_mask_iid(nodes, row.ps, rng);
-      mc += ring.allocate(mask, tp).waste_ratio();
-    }
-    mc /= trials;
-    table.add_row({std::to_string(row.r), Table::pct(row.ps),
-                   std::to_string(row.k), Table::pct(bound), row.paper,
-                   Table::pct(mc)});
+        topo::waste_ratio_upper_bound(tp, cfg.r, cfg.ps, cfg.k);
+    table.add_row({std::to_string(cfg.r), Table::pct(cfg.ps),
+                   std::to_string(cfg.k), Table::pct(bound), cfg.paper,
+                   Table::pct(result.cells[i].mean())});
   }
   bench::emit(opt, "table7_waste_bound", table);
   std::puts("Note: the Monte-Carlo column includes the cluster-size\n"

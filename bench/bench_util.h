@@ -3,7 +3,10 @@
 // reports and, with --csv <dir>, also writes machine-readable CSV.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "src/common/csv.h"
@@ -14,19 +17,62 @@ namespace ihbd::bench {
 struct Options {
   std::string csv_dir;  ///< empty = stdout only
   bool quick = false;   ///< reduced trial counts (CI mode)
+  int trials = 0;       ///< 0 = the bench's own default (--trials N)
+  int threads = 0;      ///< 0 = hardware concurrency (--threads N)
 };
 
+namespace detail {
+
+[[noreturn]] inline void usage_error(const char* prog, const std::string& why) {
+  std::fprintf(stderr,
+               "%s: %s\n"
+               "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N]\n",
+               prog, why.c_str(), prog);
+  std::exit(2);
+}
+
+inline int parse_positive_int(const char* prog, const std::string& flag,
+                              const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > std::numeric_limits<int>::max())
+    usage_error(prog, flag + " expects a positive integer, got '" +
+                          std::string(text) + "'");
+  return static_cast<int>(v);
+}
+
+}  // namespace detail
+
+/// Parse the shared bench flags. Unknown flags and missing flag values are
+/// hard errors (exit 2) so typos cannot silently run the default config.
 inline Options parse_args(int argc, char** argv) {
   Options opt;
+  const char* prog = argc > 0 ? argv[0] : "bench";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--csv" && i + 1 < argc) {
-      opt.csv_dir = argv[++i];
+    if (arg == "--csv") {
+      if (++i >= argc) detail::usage_error(prog, "--csv expects a directory");
+      opt.csv_dir = argv[i];
     } else if (arg == "--quick") {
       opt.quick = true;
+    } else if (arg == "--trials") {
+      if (++i >= argc) detail::usage_error(prog, "--trials expects a value");
+      opt.trials = detail::parse_positive_int(prog, arg, argv[i]);
+    } else if (arg == "--threads") {
+      if (++i >= argc) detail::usage_error(prog, "--threads expects a value");
+      opt.threads = detail::parse_positive_int(prog, arg, argv[i]);
+    } else {
+      detail::usage_error(prog, "unknown flag '" + arg + "'");
     }
   }
   return opt;
+}
+
+/// The trial count to use: the --trials override, else the bench default.
+inline int trials_or(const Options& opt, int bench_default) {
+  return opt.trials > 0 ? opt.trials : bench_default;
 }
 
 inline void emit(const Options& opt, const std::string& name,

@@ -1,0 +1,145 @@
+// Declarative parallel Monte-Carlo sweep engine.
+//
+// Every evaluation in the paper is a sweep: a grid of scenario axes
+// (fault ratio x TP size x architecture x ...) with many random trials per
+// grid cell. This engine replaces the hand-rolled serial loops of the bench
+// binaries with one declarative API:
+//
+//   SweepSpec spec;
+//   spec.seed = 14;
+//   spec.trials = 200;
+//   spec.axes = {Axis::of_values("Fault ratio", {0.0, 0.01, 0.05}),
+//                Axis::of_labels("Arch", {"IHBD", "NVL-72"})};
+//   SweepResult res = run_sweep(spec, trial_fn, threads);
+//
+// run_sweep fans the cells across a ThreadPool. Each (cell, trial) pair
+// draws from its own RNG substream derived from (spec.seed, global trial
+// index), so the result is bit-identical for any thread count and any
+// execution order; trials within one cell always accumulate in trial
+// order. A trial may return NaN to mark its cell "not applicable" (e.g. an
+// architecture that cannot host the requested TP size); such cells stay
+// empty and reports skip them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace ihbd::runtime {
+
+/// One scenario-grid dimension: a name plus per-level labels and optional
+/// numeric values (values are NaN for purely categorical axes).
+struct Axis {
+  std::string name;
+  std::vector<std::string> labels;
+  std::vector<double> values;
+
+  /// Numeric axis; labels default to Table-style fixed-precision rendering
+  /// unless a label_fn is supplied.
+  static Axis of_values(std::string name, std::vector<double> values,
+                        const std::function<std::string(double)>& label_fn = {});
+  /// Categorical axis (architectures, model names, ...).
+  static Axis of_labels(std::string name, std::vector<std::string> labels);
+
+  std::size_t size() const { return labels.size(); }
+};
+
+struct SweepSpec {
+  std::uint64_t seed = 0;
+  int trials = 1;            ///< Monte-Carlo trials per grid cell.
+  std::vector<Axis> axes;    ///< row-major: last axis varies fastest.
+  bool keep_samples = true;  ///< retain per-trial samples (percentiles).
+
+  std::size_t cell_count() const;
+  /// Index of the axis with the given name; aborts if absent.
+  std::size_t axis_index(std::string_view name) const;
+};
+
+/// View of one (cell, trial) handed to the trial function.
+class Scenario {
+ public:
+  Scenario(const SweepSpec& spec, std::size_t cell,
+           const std::vector<std::size_t>& idx, int trial)
+      : spec_(&spec), cell_(cell), idx_(&idx), trial_(trial) {}
+
+  std::size_t cell() const { return cell_; }
+  int trial() const { return trial_; }
+  /// Per-axis level index / numeric value / label.
+  std::size_t index(std::size_t axis) const { return (*idx_)[axis]; }
+  double value(std::size_t axis) const {
+    return spec_->axes[axis].values[index(axis)];
+  }
+  const std::string& label(std::size_t axis) const {
+    return spec_->axes[axis].labels[index(axis)];
+  }
+
+ private:
+  const SweepSpec* spec_;
+  std::size_t cell_;
+  const std::vector<std::size_t>* idx_;
+  int trial_;
+};
+
+/// Mergeable running statistics over trial samples: count/mean/M2 (Welford)
+/// plus min/max, optionally retaining the raw samples so Summary
+/// percentiles are available. merge() is associative up to floating-point
+/// rounding, enabling tree reductions over partial sweeps.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Full Summary. Percentiles require retained samples; without them the
+  /// percentile fields are left at the mean (documented approximation).
+  Summary summary() const;
+
+  void set_keep_samples(bool keep) { keep_samples_ = keep; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  bool keep_samples_ = true;
+  std::vector<double> samples_;
+};
+
+/// Outcome of a sweep: one Accumulator per grid cell, row-major.
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<Accumulator> cells;
+
+  std::size_t flat_index(const std::vector<std::size_t>& idx) const;
+  const Accumulator& cell(const std::vector<std::size_t>& idx) const {
+    return cells[flat_index(idx)];
+  }
+};
+
+/// One Monte-Carlo trial: observe the scenario, draw from rng, return the
+/// sample (NaN = cell not applicable).
+using TrialFn = std::function<double(const Scenario&, Rng&)>;
+
+/// Run the sweep on `threads` workers (0 = hardware concurrency). Cells are
+/// distributed dynamically; results are bit-identical for any thread count.
+SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn,
+                      int threads = 0);
+
+}  // namespace ihbd::runtime

@@ -1,0 +1,128 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::runtime {
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  IHBD_EXPECTS(threads >= 0);
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IHBD_EXPECTS(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  IHBD_EXPECTS(grain >= 1);
+  if (n == 0) return;
+
+  // Shared fan-out state: a dynamic index cursor plus first-error capture.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t live_tasks = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto run_chunks = [shared, n, grain, &body] {
+    for (;;) {
+      if (shared->failed.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          shared->next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + grain);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->error_mu);
+          if (!shared->error) shared->error = std::current_exception();
+          shared->failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), (n + grain - 1) / grain);
+  shared->live_tasks = helpers;
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([shared, run_chunks] {
+      run_chunks();
+      {
+        std::lock_guard<std::mutex> lock(shared->done_mu);
+        --shared->live_tasks;
+      }
+      shared->done_cv.notify_one();
+    });
+  }
+
+  // The caller participates too: with a 1-thread pool this alone does all
+  // the work, and it guarantees forward progress even if the pool is busy
+  // with unrelated submitted tasks.
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(shared->done_mu);
+  shared->done_cv.wait(lock, [&shared] { return shared->live_tasks == 0; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace ihbd::runtime

@@ -1,0 +1,81 @@
+// Fixed-size worker pool with a shared task queue and a blocking
+// parallel_for. The pool is the execution substrate of the sweep engine
+// (src/runtime/sweep.h) but is usable on its own for any embarrassingly
+// parallel work, e.g. replaying a fault trace per architecture.
+//
+// Determinism contract: parallel_for(n, body) invokes body exactly once for
+// every index in [0, n); which thread runs which index is unspecified, so
+// bodies must only write state owned by their index (typically a
+// pre-sized results slot). Under that discipline results are bit-identical
+// for any pool size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ihbd::runtime {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1). Workers start
+  /// immediately and live until destruction.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static int default_threads();
+
+  /// Run body(i) for every i in [0, n), fanned across the pool; blocks the
+  /// caller until all indices finish. Work is claimed dynamically in chunks
+  /// of `grain` indices, so uneven per-index cost still balances. If any
+  /// body throws, the first exception (in completion order) is rethrown
+  /// here after remaining work is cancelled; the pool stays usable.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Enqueue one task; returns immediately. Exceptions escaping a submitted
+  /// task terminate (use parallel_for for checked fan-out).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // queue not empty / shutting down
+  std::condition_variable idle_cv_;  // a task finished
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Map fn over items with a transient pool of `threads` workers, preserving
+/// order: result[i] == fn(items[i]). The result type must be
+/// default-constructible. threads == 0 picks default_threads().
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn, int threads = 0)
+    -> std::vector<decltype(fn(items[std::size_t{0}]))> {
+  using R = decltype(fn(items[std::size_t{0}]));
+  std::vector<R> out(items.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(items.size(),
+                    [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+}  // namespace ihbd::runtime
