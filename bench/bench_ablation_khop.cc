@@ -2,12 +2,21 @@
 //   (1) hop reach K in {1,2,3,4}: fault resilience vs OCSTrx bundle cost;
 //   (2) ring vs K-hop line topology (§4.2's trade-off);
 //   (3) deployment-strategy on/off for the orchestrator (Algorithm 3).
+//
+// The Monte-Carlo sweeps (1) and (2) run on the runtime sweep engine: every
+// (cell, trial) draws from its own RNG substream, so the tables are
+// bit-identical for any --threads value. (3) is a single deterministic
+// orchestration comparison and needs no trials.
+#include <memory>
+#include <utility>
+
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/cost/bom.h"
 #include "src/dcn/traffic.h"
 #include "src/fault/trace.h"
 #include "src/orch/orchestrator.h"
+#include "src/runtime/sweep.h"
 #include "src/topo/khop_ring.h"
 #include "src/topo/waste.h"
 
@@ -16,7 +25,7 @@ using namespace ihbd;
 int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Ablations: K sweep, ring-vs-line, deployment strategy");
-  const int trials = opt.quick ? 30 : 150;
+  const int trials = bench::trials_or(opt, opt.quick ? 30 : 150);
 
   {
     Table table("K sweep: TP-32 waste ratio on 720 4-GPU nodes (+ per-GPU "
@@ -29,13 +38,35 @@ int main(int argc, char** argv) {
     const double k3_cost =
         cost::bom_by_name(boms, "InfiniteHBD(K=3)").cost_per_gpu();
     const double per_bundle = k3_cost - k2_cost;  // one extra bundle
-    for (int k : {1, 2, 3, 4}) {
-      topo::KHopRing ring(720, 4, k);
-      Rng rng(100 + k);
+
+    std::vector<std::unique_ptr<topo::KHopRing>> rings;
+    for (int k : {1, 2, 3, 4})
+      rings.push_back(std::make_unique<topo::KHopRing>(720, 4, k));
+
+    runtime::SweepSpec spec;
+    spec.seed = 100;
+    spec.trials = trials;
+    spec.keep_samples = false;  // only cell means are reported
+    spec.axes = {
+        runtime::Axis::of_values("K", {1, 2, 3, 4}),
+        runtime::Axis::of_values("Fault ratio", {0.02, 0.05, 0.10},
+                                 [](double f) { return Table::pct(f, 0); }),
+    };
+    const auto result = runtime::run_sweep(
+        spec,
+        [&](const runtime::Scenario& s, Rng& rng) {
+          const auto& ring = *rings[s.index(0)];
+          const auto mask =
+              fault::sample_fault_mask(ring.node_count(), s.value(1), rng);
+          return ring.allocate(mask, 32).waste_ratio();
+        },
+        opt.threads);
+
+    for (std::size_t ki = 0; ki < rings.size(); ++ki) {
+      const int k = static_cast<int>(spec.axes[0].values[ki]);
       std::vector<std::string> row{std::to_string(k)};
-      for (double f : {0.02, 0.05, 0.10})
-        row.push_back(Table::pct(
-            topo::mean_waste_at_ratio(ring, f, 32, trials, rng)));
+      for (std::size_t fi = 0; fi < spec.axes[1].size(); ++fi)
+        row.push_back(Table::pct(result.cell({ki, fi}).mean()));
       row.push_back(std::to_string(8 * k));
       row.push_back(Table::fmt(k2_cost + (k - 2) * per_bundle, 0));
       table.add_row(row);
@@ -46,16 +77,44 @@ int main(int argc, char** argv) {
   {
     Table table("Ring vs K-hop line (K=2, TP-32): the wrap link's value");
     table.set_header({"Fault ratio", "Ring waste", "Line waste"});
-    topo::KHopRing ring(720, 4, 2, true);
-    topo::KHopRing line(720, 4, 2, false);
-    for (double f : {0.0, 0.02, 0.05, 0.10}) {
-      Rng rng(7);
-      Rng rng2(7);
-      table.add_row(
-          {Table::pct(f, 0),
-           Table::pct(topo::mean_waste_at_ratio(ring, f, 32, trials, rng)),
-           Table::pct(topo::mean_waste_at_ratio(line, f, 32, trials, rng2))});
-    }
+    const topo::KHopRing ring(720, 4, 2, true);
+    const topo::KHopRing line(720, 4, 2, false);
+
+    // Common random numbers: each trial draws ONE mask and evaluates both
+    // topologies on it, so the wrap-link delta is paired, not noised by
+    // independent mask sets. The generic reduce carries both samples.
+    struct Paired {
+      runtime::Accumulator ring_waste;
+      runtime::Accumulator line_waste;
+    };
+    runtime::SweepSpec spec;
+    spec.seed = 7;
+    spec.trials = trials;
+    spec.axes = {
+        runtime::Axis::of_values("Fault ratio", {0.0, 0.02, 0.05, 0.10},
+                                 [](double f) { return Table::pct(f, 0); }),
+    };
+    Paired init;
+    init.ring_waste.set_keep_samples(false);
+    init.line_waste.set_keep_samples(false);
+    const auto result = runtime::run_sweep_reduce(
+        spec, init,
+        [&](const runtime::Scenario& s, Rng& rng) {
+          const auto mask =
+              fault::sample_fault_mask(ring.node_count(), s.value(0), rng);
+          return std::pair{ring.allocate(mask, 32).waste_ratio(),
+                           line.allocate(mask, 32).waste_ratio()};
+        },
+        [](Paired& acc, std::pair<double, double>&& waste) {
+          acc.ring_waste.add(waste.first);
+          acc.line_waste.add(waste.second);
+        },
+        opt.threads);
+
+    for (std::size_t fi = 0; fi < spec.axes[0].size(); ++fi)
+      table.add_row({spec.axes[0].labels[fi],
+                     Table::pct(result.cell({fi}).ring_waste.mean()),
+                     Table::pct(result.cell({fi}).line_waste.mean())});
     bench::emit(opt, "ablation_ring_vs_line", table);
   }
 

@@ -2,6 +2,10 @@
 // CDF of the GPU waste ratio over the production fault trace, 4-GPU nodes,
 // per HBD architecture. Headline (§1): InfiniteHBD TP-32 waste 0.53% vs
 // NVL-72 10.04% and TPUv4 7.56%.
+//
+// Runs on the generic sweep engine: each (TP, arch) cell replays the trace
+// in windows and carries a full TraceWasteResult, so the tables are
+// bit-identical for any --threads value.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
 
@@ -14,16 +18,19 @@ int main(int argc, char** argv) {
   const auto trace = bench::make_sim_trace(opt.quick);
   const auto archs = bench::make_archs();
 
-  for (int tp : {8, 16, 32, 64}) {
+  const auto grid =
+      bench::replay_trace_grid(archs, trace, {8, 16, 32, 64}, opt.threads);
+
+  for (std::size_t t = 0; t < grid.spec.axes[0].size(); ++t) {
+    const int tp = static_cast<int>(grid.spec.axes[0].values[t]);
     Table table("TP-" + std::to_string(tp) +
                 ": waste-ratio distribution over the trace");
     table.set_header({"Architecture", "mean", "p50", "p90", "p99", "max"});
-    for (const auto& arch : archs) {
-      if (!bench::arch_supports_tp(*arch, tp)) continue;
-      const auto result =
-          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0);
-      const Summary& s = result.waste_summary;
-      table.add_row({arch->name(), Table::pct(s.mean), Table::pct(s.p50),
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      const auto& cell = grid.cell({t, a});
+      if (!bench::replay_cell_supported(cell)) continue;
+      const Summary& s = cell.waste_summary;
+      table.add_row({archs[a]->name(), Table::pct(s.mean), Table::pct(s.p50),
                      Table::pct(s.p90), Table::pct(s.p99),
                      Table::pct(s.max)});
     }

@@ -1,6 +1,11 @@
 // Reproduces paper Fig. 20: GPU waste ratio over trace time (monthly
-// samples shown; CSV mode captures the full daily series), per
-// architecture and TP size.
+// samples printed; CSV mode additionally writes the full daily series),
+// per architecture and TP size.
+//
+// Runs on the generic sweep engine with keep_samples=false: each (TP, arch)
+// cell keeps only the replayed time series (what this figure prints), not a
+// duplicate per-sample array inside the summary accumulator, bounding
+// memory on fleet-scale sweeps. Bit-identical for any --threads value.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
 
@@ -13,26 +18,47 @@ int main(int argc, char** argv) {
   const auto trace = bench::make_sim_trace(opt.quick);
   const auto archs = bench::make_archs();
 
-  for (int tp : {8, 32}) {  // representative pair; CSV emits all four
+  // Representative TP pair of the paper's plot.
+  const auto grid = bench::replay_trace_grid(archs, trace, {8, 32},
+                                             opt.threads,
+                                             /*keep_samples=*/false);
+
+  for (std::size_t t = 0; t < grid.spec.axes[0].size(); ++t) {
+    const int tp = static_cast<int>(grid.spec.axes[0].values[t]);
     Table table("TP-" + std::to_string(tp) +
                 ": waste ratio time series (30-day samples)");
     std::vector<std::string> header{"Day"};
-    std::vector<TimeSeries> series;
-    for (const auto& arch : archs) {
-      if (!bench::arch_supports_tp(*arch, tp)) continue;
-      header.push_back(arch->name());
-      series.push_back(
-          topo::evaluate_waste_over_trace(*arch, trace, tp, 1.0).waste_ratio);
+    std::vector<const TimeSeries*> series;
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      const auto& cell = grid.cell({t, a});
+      if (!bench::replay_cell_supported(cell)) continue;
+      header.push_back(archs[a]->name());
+      series.push_back(&cell.waste_ratio);
     }
     table.set_header(header);
     if (!series.empty()) {
-      for (std::size_t i = 0; i < series[0].size(); i += 30) {
-        std::vector<std::string> row{Table::fmt(series[0].t[i], 0)};
-        for (const auto& ts : series) row.push_back(Table::pct(ts.v[i]));
+      for (std::size_t i = 0; i < series[0]->size(); i += 30) {
+        std::vector<std::string> row{Table::fmt(series[0]->t[i], 0)};
+        for (const auto* ts : series) row.push_back(Table::pct(ts->v[i]));
         table.add_row(row);
       }
     }
     bench::emit(opt, "fig20_waste_timeseries_tp" + std::to_string(tp), table);
+
+    // CSV mode additionally captures the full daily-resolution series.
+    if (!opt.csv_dir.empty() && !series.empty()) {
+      Table daily("TP-" + std::to_string(tp) +
+                  ": waste ratio time series (daily)");
+      daily.set_header(header);
+      for (std::size_t i = 0; i < series[0]->size(); ++i) {
+        std::vector<std::string> row{Table::fmt(series[0]->t[i], 0)};
+        for (const auto* ts : series) row.push_back(Table::pct(ts->v[i]));
+        daily.add_row(row);
+      }
+      write_csv(opt.csv_dir,
+                "fig20_waste_timeseries_tp" + std::to_string(tp) + "_daily",
+                daily);
+    }
   }
   return 0;
 }

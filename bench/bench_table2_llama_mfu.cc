@@ -3,8 +3,13 @@
 // the TP-8-constrained baseline (NVLink-class HBD), and the improvement
 // ratio. Paper's headline trend: optimal TP grows 16 -> 64; the TP-8
 // baseline collapses at scale (3.37x improvement at 131k GPUs).
+//
+// Runs on the generic sweep engine: each (GPU count, TP regime) cell
+// carries the full strategy-search result, so the expensive grid searches
+// fan out across --threads while the table stays bit-identical.
 #include "bench/bench_util.h"
 #include "src/llmsim/perf.h"
+#include "src/runtime/sweep.h"
 
 using namespace ihbd;
 using namespace ihbd::llmsim;
@@ -17,9 +22,6 @@ int main(int argc, char** argv) {
   job.model = ModelConfig::llama31_405b_mha();
   job.global_batch = 2048;
 
-  Table table("Optimal strategy vs TP-8 baseline");
-  table.set_header({"GPU", "TP", "PP", "DP", "MFU", "MFU_TP-8", "Improve",
-                    "Paper MFU", "Paper TP"});
   struct PaperRow {
     int gpus;
     double mfu;
@@ -29,9 +31,35 @@ int main(int argc, char** argv) {
                             {8192, 0.4247, 32},  {16384, 0.3756, 32},
                             {32768, 0.3090, 32}, {65536, 0.2493, 64},
                             {131072, 0.1851, 64}};
-  for (const auto& row : paper) {
-    const auto open = search_best_strategy(job, row.gpus);
-    const auto tp8 = search_best_strategy(job, row.gpus, /*tp_limit=*/8);
+
+  runtime::SweepSpec spec;
+  spec.trials = 1;  // the strategy search is deterministic
+  std::vector<double> gpu_counts;
+  for (const auto& row : paper) gpu_counts.push_back(row.gpus);
+  spec.axes = {
+      runtime::Axis::of_values("GPU", std::move(gpu_counts),
+                               [](double g) {
+                                 return std::to_string(static_cast<int>(g));
+                               }),
+      runtime::Axis::of_labels("Regime", {"open", "TP-8"}),
+  };
+  const auto grid = runtime::run_sweep_reduce(
+      spec, SearchResult{},
+      [&](const runtime::Scenario& s, Rng&) {
+        const int tp_limit = s.index(1) == 1 ? 8 : 0;
+        return search_best_strategy(job, static_cast<int>(s.value(0)),
+                                    tp_limit);
+      },
+      [](SearchResult& acc, SearchResult&& found) { acc = std::move(found); },
+      opt.threads);
+
+  Table table("Optimal strategy vs TP-8 baseline");
+  table.set_header({"GPU", "TP", "PP", "DP", "MFU", "MFU_TP-8", "Improve",
+                    "Paper MFU", "Paper TP"});
+  for (std::size_t g = 0; g < std::size(paper); ++g) {
+    const auto& row = paper[g];
+    const SearchResult& open = grid.cell({g, 0});
+    const SearchResult& tp8 = grid.cell({g, 1});
     table.add_row({std::to_string(row.gpus), std::to_string(open.best.tp),
                    std::to_string(open.best.pp), std::to_string(open.best.dp),
                    Table::fmt(open.perf.mfu), Table::fmt(tp8.perf.mfu),

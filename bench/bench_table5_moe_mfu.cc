@@ -2,8 +2,12 @@
 // varying GPU counts with 20% practical expert imbalance. Paper trend:
 // optimal EP = 1 everywhere (TP shards experts evenly, dodging the
 // imbalance straggler) and optimal TP grows 16 -> 64.
+//
+// Runs on the generic sweep engine: one deterministic strategy search per
+// GPU-count cell, fanned across --threads, bit-identical output.
 #include "bench/bench_util.h"
 #include "src/llmsim/perf.h"
+#include "src/runtime/sweep.h"
 
 using namespace ihbd;
 using namespace ihbd::llmsim;
@@ -17,9 +21,6 @@ int main(int argc, char** argv) {
   job.global_batch = 1536;
   job.expert_imbalance = 0.20;  // §6.3: practical setting
 
-  Table table("Optimal strategies (EP in {1,2,4,8})");
-  table.set_header(
-      {"GPU Num", "TP", "DP", "PP", "EP", "MFU", "Paper MFU", "Paper TP/EP"});
   struct PaperRow {
     int gpus;
     double mfu;
@@ -30,8 +31,28 @@ int main(int argc, char** argv) {
                             {4096, 0.3894, "32/1"},
                             {8192, 0.3656, "32/1"},
                             {16384, 0.3116, "64/1"}};
-  for (const auto& row : paper) {
-    const auto best = search_best_strategy(job, row.gpus);
+
+  runtime::SweepSpec spec;
+  spec.trials = 1;  // the strategy search is deterministic
+  std::vector<double> gpu_counts;
+  for (const auto& row : paper) gpu_counts.push_back(row.gpus);
+  spec.axes = {runtime::Axis::of_values(
+      "GPU Num", std::move(gpu_counts),
+      [](double g) { return std::to_string(static_cast<int>(g)); })};
+  const auto grid = runtime::run_sweep_reduce(
+      spec, SearchResult{},
+      [&](const runtime::Scenario& s, Rng&) {
+        return search_best_strategy(job, static_cast<int>(s.value(0)));
+      },
+      [](SearchResult& acc, SearchResult&& found) { acc = std::move(found); },
+      opt.threads);
+
+  Table table("Optimal strategies (EP in {1,2,4,8})");
+  table.set_header(
+      {"GPU Num", "TP", "DP", "PP", "EP", "MFU", "Paper MFU", "Paper TP/EP"});
+  for (std::size_t g = 0; g < std::size(paper); ++g) {
+    const auto& row = paper[g];
+    const SearchResult& best = grid.cell({g});
     table.add_row({std::to_string(row.gpus), std::to_string(best.best.tp),
                    std::to_string(best.best.dp), std::to_string(best.best.pp),
                    std::to_string(best.best.ep), Table::fmt(best.perf.mfu),

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/fault/generator.h"
+#include "src/runtime/sweep.h"
 #include "src/topo/baselines.h"
 #include "src/topo/waste.h"
 
@@ -37,6 +39,46 @@ inline std::vector<std::unique_ptr<topo::HbdArchitecture>> make_archs() {
 inline bool arch_supports_tp(const topo::HbdArchitecture& arch, int tp) {
   if (arch.name() == "NVL-36" && tp > 36) return false;
   return true;
+}
+
+/// The (TP x architecture) trace-replay grid shared by Figs. 13, 15 and 20,
+/// run on the generic sweep engine: one windowed trace replay per supported
+/// cell, fanned across --threads. Unsupported cells keep the
+/// default-constructed (empty) TraceWasteResult. The replay is
+/// deterministic, so the grid is bit-identical for any thread count.
+inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
+    const std::vector<std::unique_ptr<topo::HbdArchitecture>>& archs,
+    const fault::FaultTrace& trace, std::vector<double> tps, int threads,
+    bool keep_samples = true) {
+  runtime::SweepSpec spec;
+  spec.trials = 1;  // replay is deterministic; the grid itself is the work
+  spec.keep_samples = keep_samples;
+  std::vector<std::string> arch_names;
+  for (const auto& arch : archs) arch_names.push_back(arch->name());
+  spec.axes = {
+      runtime::Axis::of_values("TP", std::move(tps)),
+      runtime::Axis::of_labels("Arch", std::move(arch_names)),
+  };
+  return runtime::run_sweep_reduce(
+      spec, topo::TraceWasteResult{},
+      [&](const runtime::Scenario& s, Rng&) -> topo::TraceWasteResult {
+        const int tp = static_cast<int>(s.value(0));
+        const auto& arch = *archs[s.index(1)];
+        if (!arch_supports_tp(arch, tp)) return {};
+        topo::TraceReplayOptions opts;
+        opts.threads = 1;  // the sweep's pool already owns the cores
+        opts.keep_samples = s.spec().keep_samples;
+        return topo::evaluate_waste_over_trace(arch, trace, tp, opts);
+      },
+      [](topo::TraceWasteResult& acc, topo::TraceWasteResult&& replay) {
+        acc = std::move(replay);
+      },
+      threads);
+}
+
+/// True when a replay-grid cell actually ran (unsupported cells are empty).
+inline bool replay_cell_supported(const topo::TraceWasteResult& cell) {
+  return !cell.waste_ratio.t.empty();
 }
 
 }  // namespace ihbd::bench

@@ -1,0 +1,169 @@
+// Vendored micro-benchmark harness: a drop-in for the subset of the Google
+// Benchmark API that bench_reconfig_latency uses, so the target builds and
+// runs even where Google Benchmark is not installed. Selected by CMake when
+// the real library is absent (or when -DIHBD_FORCE_MICROBENCH=ON).
+//
+// Supported surface: benchmark::State (range-for iteration, range(i),
+// counters), BENCHMARK(fn) registration with ->Arg(n), DoNotOptimize,
+// Counter, and BENCHMARK_MAIN(). Timing is adaptive: each benchmark reruns
+// with a growing iteration count until it occupies a minimum wall-clock
+// window, then reports ns/iteration plus any user counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+struct Counter {
+  double value = 0.0;
+  Counter() = default;
+  Counter(double v) : value(v) {}  // NOLINT: implicit like the real API
+};
+
+class State {
+ public:
+  State(std::int64_t iterations, std::vector<std::int64_t> ranges)
+      : iterations_(iterations), ranges_(std::move(ranges)) {}
+
+  struct Ignored {
+    Ignored() {}  // non-trivial: silences unused-variable on `auto _`
+  };
+  struct iterator {
+    std::int64_t remaining;
+    bool operator!=(const iterator& other) const {
+      return remaining != other.remaining;
+    }
+    void operator++() { --remaining; }
+    Ignored operator*() const { return {}; }
+  };
+
+  /// Starts the measured window; setup before the loop is excluded.
+  iterator begin() {
+    start_ = std::chrono::steady_clock::now();
+    return {iterations_};
+  }
+  iterator end() { return {0}; }
+
+  std::int64_t range(std::size_t i = 0) const { return ranges_.at(i); }
+  std::int64_t iterations() const { return iterations_; }
+  std::chrono::steady_clock::time_point start_time() const { return start_; }
+
+  std::map<std::string, Counter> counters;
+
+ private:
+  std::int64_t iterations_;
+  std::vector<std::int64_t> ranges_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+#else
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  volatile const T* sink = &value;
+  (void)sink;
+}
+#endif
+
+namespace detail {
+
+struct Registered {
+  std::string name;
+  void (*fn)(State&);
+  /// One run per arg set; an empty list means one run with no args.
+  std::vector<std::vector<std::int64_t>> arg_sets;
+};
+
+inline std::vector<Registered>& registry() {
+  static std::vector<Registered> benches;
+  return benches;
+}
+
+/// Registration handle; mirrors the real API's chained ->Arg(n).
+class Handle {
+ public:
+  explicit Handle(std::size_t index) : index_(index) {}
+  Handle* Arg(std::int64_t a) {
+    registry()[index_].arg_sets.push_back({a});
+    return this;
+  }
+
+ private:
+  std::size_t index_;
+};
+
+inline Handle* Register(const char* name, void (*fn)(State&)) {
+  registry().push_back({name, fn, {}});
+  // Handles live for the program (still reachable, so LeakSanitizer-clean)
+  // behind stable pointers; they are only used for ->Arg chains.
+  static std::vector<std::unique_ptr<Handle>> handles;
+  handles.push_back(std::make_unique<Handle>(registry().size() - 1));
+  return handles.back().get();
+}
+
+inline void run_one(const Registered& bench,
+                    const std::vector<std::int64_t>& args) {
+  using clock = std::chrono::steady_clock;
+  constexpr double kMinSeconds = 0.05;
+  constexpr std::int64_t kMaxIters = std::int64_t{1} << 30;
+
+  double elapsed = 0.0;
+  std::int64_t iters = 1;
+  std::map<std::string, Counter> counters;
+  for (;; iters *= 4) {
+    State state(iters, args);
+    bench.fn(state);
+    elapsed =
+        std::chrono::duration<double>(clock::now() - state.start_time())
+            .count();
+    counters = state.counters;
+    if (elapsed >= kMinSeconds || iters >= kMaxIters) break;
+  }
+
+  std::string name = bench.name;
+  for (const auto a : args) name += "/" + std::to_string(a);
+  std::string extra;
+  for (const auto& [key, counter] : counters) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, " %s=%.4g", key.c_str(), counter.value);
+    extra += buf;
+  }
+  std::printf("%-36s %12.1f ns/iter %12lld iters%s\n", name.c_str(),
+              elapsed * 1e9 / static_cast<double>(iters),
+              static_cast<long long>(iters), extra.c_str());
+}
+
+}  // namespace detail
+
+inline int RunAllBenchmarks() {
+  std::printf("%-36s %20s %18s\n", "Benchmark (vendored harness)", "Time",
+              "Iterations");
+  for (const auto& bench : detail::registry()) {
+    if (bench.arg_sets.empty()) {
+      detail::run_one(bench, {});
+    } else {
+      for (const auto& args : bench.arg_sets) detail::run_one(bench, args);
+    }
+  }
+  return 0;
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                    \
+  static ::benchmark::detail::Handle* bench_handle_##fn = \
+      ::benchmark::detail::Register(#fn, fn)
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::RunAllBenchmarks(); }

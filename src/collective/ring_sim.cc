@@ -104,6 +104,9 @@ AllReduceResult simulate_ring_allreduce(int n, double bytes,
   }
   for (int i = 0; i < n; ++i) (*try_send)(i);
   engine.run();
+  // The closure captures its own shared_ptr holder; reset it or the
+  // self-cycle outlives the simulation (leak under ASan).
+  *try_send = nullptr;
 
   AllReduceResult result;
   result.time_s = finish;

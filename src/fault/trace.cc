@@ -44,10 +44,29 @@ int FaultTrace::faulty_count_at(double day) const {
   return static_cast<int>(std::count(mask.begin(), mask.end(), true));
 }
 
-TimeSeries FaultTrace::ratio_series(double step_days) const {
+std::vector<double> FaultTrace::sample_days(double step_days) const {
   IHBD_EXPECTS(step_days > 0.0);
+  std::vector<double> days;
+  // Repeated addition (not i * step) on purpose: this must reproduce the
+  // serial replay loop's floating-point day sequence bit-for-bit.
+  for (double day = 0.0; day < duration_days_; day += step_days)
+    days.push_back(day);
+  return days;
+}
+
+FaultTrace FaultTrace::slice(double start_day, double end_day) const {
+  IHBD_EXPECTS(start_day <= end_day);
+  std::vector<FaultEvent> overlapping;
+  for (const auto& e : events_) {
+    if (e.start_day > end_day) break;  // events_ sorted by start_day
+    if (e.end_day > start_day) overlapping.push_back(e);
+  }
+  return FaultTrace(node_count_, duration_days_, std::move(overlapping));
+}
+
+TimeSeries FaultTrace::ratio_series(double step_days) const {
   TimeSeries ts;
-  for (double day = 0.0; day < duration_days_; day += step_days) {
+  for (double day : sample_days(step_days)) {
     ts.push(day, static_cast<double>(faulty_count_at(day)) /
                      static_cast<double>(node_count_));
   }
@@ -92,6 +111,15 @@ FaultTrace FaultTrace::remap_nodes(int new_node_count) const {
       out.push_back(e);
   }
   return FaultTrace(new_node_count, duration_days_, std::move(out));
+}
+
+std::vector<SampleWindow> split_windows(std::size_t n, std::size_t window) {
+  std::vector<SampleWindow> windows;
+  if (n == 0) return windows;
+  if (window == 0) window = n;
+  for (std::size_t begin = 0; begin < n; begin += window)
+    windows.push_back({begin, std::min(window, n - begin)});
+  return windows;
 }
 
 std::vector<bool> sample_fault_mask(int node_count, double ratio, Rng& rng) {

@@ -8,6 +8,7 @@
 // 8-GPU -> 4-GPU Bayes normalization.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -40,6 +41,18 @@ class FaultTrace {
   /// Number of faulty nodes at an instant.
   int faulty_count_at(double day) const;
 
+  /// The replay sample times for a step: {0, step, 2*step, ...} below
+  /// duration_days(), accumulated exactly as a serial `day += step` replay
+  /// loop would, so windowed replays enumerate bit-identical days.
+  std::vector<double> sample_days(double step_days) const;
+
+  /// Sub-trace restricted to the events overlapping the closed interval
+  /// [start_day, end_day]: faulty_at(d) on the slice matches the full trace
+  /// for every d in that range (masks for days outside it are meaningless).
+  /// Node count and duration are preserved; this is the unit of work for
+  /// the windowed parallel replay in src/topo/waste.h.
+  FaultTrace slice(double start_day, double end_day) const;
+
   /// Fault-node-ratio time series sampled every `step_days`.
   TimeSeries ratio_series(double step_days = 1.0) const;
 
@@ -68,6 +81,18 @@ class FaultTrace {
   double duration_days_;
   std::vector<FaultEvent> events_;  // sorted by start_day
 };
+
+/// A contiguous run of replay samples: indices [begin, begin + count) into
+/// a sample-day sequence (FaultTrace::sample_days).
+struct SampleWindow {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
+/// Split `n` samples into consecutive windows of at most `window` samples
+/// (the last window may be short). window == 0 yields a single window
+/// spanning everything; n == 0 yields no windows.
+std::vector<SampleWindow> split_windows(std::size_t n, std::size_t window);
 
 /// Draw an i.i.d. faulty-node mask with an *exact* number of faulty nodes:
 /// round(node_count * ratio) distinct nodes chosen uniformly. Used for the

@@ -1,0 +1,66 @@
+#include "src/runtime/accumulate.h"
+
+#include <cmath>
+
+namespace ihbd::runtime {
+
+void Accumulator::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+  if (keep_samples_) samples_.push_back(x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  // Samples survive a merge only when both sides retained a complete set;
+  // otherwise the result degrades to moments-only rather than silently
+  // reporting percentiles over a partial sample.
+  const bool keep = keep_samples_ && samples_.size() == count_ &&
+                    other.samples_.size() == other.count_;
+  if (count_ == 0) {
+    const bool my_keep = keep_samples_;
+    *this = other;
+    keep_samples_ = my_keep;
+  } else {
+    // Chan et al. pairwise moment combination.
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    if (keep)
+      samples_.insert(samples_.end(), other.samples_.begin(),
+                      other.samples_.end());
+  }
+  if (!keep) {
+    samples_.clear();
+    keep_samples_ = false;
+  }
+}
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Summary Accumulator::summary() const {
+  if (!samples_.empty()) return summarize(samples_);
+  Summary s;
+  s.count = count_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  s.p50 = s.p90 = s.p99 = mean();
+  return s;
+}
+
+}  // namespace ihbd::runtime

@@ -1,0 +1,48 @@
+// Mergeable running statistics, the reduction primitive shared by the sweep
+// engine (src/runtime/sweep.h) and the windowed trace replay
+// (src/topo/waste.h): count/mean/M2 (Welford) plus min/max, optionally
+// retaining the raw samples so Summary percentiles are available. merge()
+// is associative up to floating-point rounding in the moments and exact in
+// count/min/max/samples, enabling tree reductions over partial results.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace ihbd::runtime {
+
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Full Summary. Percentiles require retained samples; without them the
+  /// percentile fields are left at the mean (documented approximation).
+  Summary summary() const;
+
+  void set_keep_samples(bool keep) { keep_samples_ = keep; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  bool keep_samples_ = true;
+  std::vector<double> samples_;
+};
+
+}  // namespace ihbd::runtime

@@ -5,7 +5,6 @@
 #include "src/common/contracts.h"
 #include "src/common/table.h"
 #include "src/runtime/substream.h"
-#include "src/runtime/thread_pool.h"
 
 namespace ihbd::runtime {
 
@@ -41,66 +40,8 @@ std::size_t SweepSpec::axis_index(std::string_view name) const {
   return 0;
 }
 
-void Accumulator::add(double x) {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  if (x < min_) min_ = x;
-  if (x > max_) max_ = x;
-  if (keep_samples_) samples_.push_back(x);
-}
-
-void Accumulator::merge(const Accumulator& other) {
-  if (other.count_ == 0) return;
-  // Samples survive a merge only when both sides retained a complete set;
-  // otherwise the result degrades to moments-only rather than silently
-  // reporting percentiles over a partial sample.
-  const bool keep = keep_samples_ && samples_.size() == count_ &&
-                    other.samples_.size() == other.count_;
-  if (count_ == 0) {
-    const bool my_keep = keep_samples_;
-    *this = other;
-    keep_samples_ = my_keep;
-  } else {
-    // Chan et al. pairwise moment combination.
-    const double na = static_cast<double>(count_);
-    const double nb = static_cast<double>(other.count_);
-    const double delta = other.mean_ - mean_;
-    mean_ += delta * nb / (na + nb);
-    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
-    count_ += other.count_;
-    if (other.min_ < min_) min_ = other.min_;
-    if (other.max_ > max_) max_ = other.max_;
-    if (keep)
-      samples_.insert(samples_.end(), other.samples_.begin(),
-                      other.samples_.end());
-  }
-  if (!keep) {
-    samples_.clear();
-    keep_samples_ = false;
-  }
-}
-
-double Accumulator::variance() const {
-  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
-}
-
-double Accumulator::stddev() const { return std::sqrt(variance()); }
-
-Summary Accumulator::summary() const {
-  if (!samples_.empty()) return summarize(samples_);
-  Summary s;
-  s.count = count_;
-  s.mean = mean();
-  s.stddev = stddev();
-  s.min = min();
-  s.max = max();
-  s.p50 = s.p90 = s.p99 = mean();
-  return s;
-}
-
-std::size_t SweepResult::flat_index(const std::vector<std::size_t>& idx) const {
+std::size_t flat_cell_index(const SweepSpec& spec,
+                            const std::vector<std::size_t>& idx) {
   IHBD_EXPECTS(idx.size() == spec.axes.size());
   std::size_t flat = 0;
   for (std::size_t a = 0; a < idx.size(); ++a) {
@@ -110,41 +51,45 @@ std::size_t SweepResult::flat_index(const std::vector<std::size_t>& idx) const {
   return flat;
 }
 
-SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads) {
+Rng trial_rng(const SweepSpec& spec, std::size_t cell, int trial) {
+  return substream(spec.seed,
+                   static_cast<std::uint64_t>(cell) *
+                           static_cast<std::uint64_t>(spec.trials) +
+                       static_cast<std::uint64_t>(trial));
+}
+
+namespace detail {
+
+void validate_spec(const SweepSpec& spec) {
   IHBD_EXPECTS(spec.trials > 0);
   IHBD_EXPECTS(!spec.axes.empty());
   for (const auto& axis : spec.axes) {
     IHBD_EXPECTS(axis.size() > 0);
     IHBD_EXPECTS(axis.values.size() == axis.labels.size());
   }
+}
 
-  SweepResult result;
-  result.spec = spec;
-  result.cells.resize(spec.cell_count());
-  for (auto& cell : result.cells) cell.set_keep_samples(spec.keep_samples);
+std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell) {
+  std::vector<std::size_t> idx(spec.axes.size());
+  std::size_t rem = cell;
+  for (std::size_t a = spec.axes.size(); a-- > 0;) {
+    idx[a] = rem % spec.axes[a].size();
+    rem /= spec.axes[a].size();
+  }
+  return idx;
+}
 
-  const std::uint64_t trials = static_cast<std::uint64_t>(spec.trials);
-  ThreadPool pool(threads);
-  pool.parallel_for(result.cells.size(), [&](std::size_t cell) {
-    // Decode the row-major cell index into per-axis levels.
-    std::vector<std::size_t> idx(spec.axes.size());
-    std::size_t rem = cell;
-    for (std::size_t a = spec.axes.size(); a-- > 0;) {
-      idx[a] = rem % spec.axes[a].size();
-      rem /= spec.axes[a].size();
-    }
-    Accumulator& acc = result.cells[cell];
-    for (int t = 0; t < spec.trials; ++t) {
-      // One substream per (cell, trial): independent of scheduling.
-      Rng rng = substream(spec.seed,
-                          static_cast<std::uint64_t>(cell) * trials +
-                              static_cast<std::uint64_t>(t));
-      const Scenario scenario(spec, cell, idx, t);
-      const double sample = fn(scenario, rng);
-      if (!std::isnan(sample)) acc.add(sample);
-    }
-  });
-  return result;
+}  // namespace detail
+
+SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads) {
+  Accumulator init;
+  init.set_keep_samples(spec.keep_samples);
+  return run_sweep_reduce(
+      spec, init, fn,
+      [](Accumulator& acc, double sample) {
+        if (!std::isnan(sample)) acc.add(sample);
+      },
+      threads);
 }
 
 }  // namespace ihbd::runtime

@@ -19,6 +19,17 @@
 // order. A trial may return NaN to mark its cell "not applicable" (e.g. an
 // architecture that cannot host the requested TP size); such cells stay
 // empty and reports skip them.
+//
+// The scalar path above is a thin adapter over the generic engine,
+// run_sweep_reduce: trials may return ANY result type, folded in trial
+// order into a user-supplied per-cell accumulator. That is how the
+// trace-replay benches carry a full TraceWasteResult (time series +
+// summary) per grid cell instead of one double per trial:
+//
+//   auto res = run_sweep_reduce<ReplayAcc>(spec, ReplayAcc{},
+//       [&](const Scenario& s, Rng& rng) { return replay(s, rng); },
+//       [](ReplayAcc& acc, ReplayFragment&& f) { acc.merge(std::move(f)); },
+//       threads);
 #pragma once
 
 #include <cstddef>
@@ -27,10 +38,14 @@
 #include <limits>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/runtime/accumulate.h"
+#include "src/runtime/thread_pool.h"
 
 namespace ihbd::runtime {
 
@@ -71,6 +86,7 @@ class Scenario {
 
   std::size_t cell() const { return cell_; }
   int trial() const { return trial_; }
+  const SweepSpec& spec() const { return *spec_; }
   /// Per-axis level index / numeric value / label.
   std::size_t index(std::size_t axis) const { return (*idx_)[axis]; }
   double value(std::size_t axis) const {
@@ -87,58 +103,81 @@ class Scenario {
   int trial_;
 };
 
-/// Mergeable running statistics over trial samples: count/mean/M2 (Welford)
-/// plus min/max, optionally retaining the raw samples so Summary
-/// percentiles are available. merge() is associative up to floating-point
-/// rounding, enabling tree reductions over partial sweeps.
-class Accumulator {
- public:
-  void add(double x);
-  void merge(const Accumulator& other);
+/// Row-major flat index of a per-axis level tuple.
+std::size_t flat_cell_index(const SweepSpec& spec,
+                            const std::vector<std::size_t>& idx);
 
-  std::size_t count() const { return count_; }
-  bool empty() const { return count_ == 0; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  /// Sample variance (n-1 denominator); 0 for n < 2.
-  double variance() const;
-  double stddev() const;
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  const std::vector<double>& samples() const { return samples_; }
-
-  /// Full Summary. Percentiles require retained samples; without them the
-  /// percentile fields are left at the mean (documented approximation).
-  Summary summary() const;
-
-  void set_keep_samples(bool keep) { keep_samples_ = keep; }
-
- private:
-  std::size_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-  bool keep_samples_ = true;
-  std::vector<double> samples_;
-};
-
-/// Outcome of a sweep: one Accumulator per grid cell, row-major.
-struct SweepResult {
+/// Outcome of a sweep: one accumulator of user-chosen type per grid cell,
+/// row-major in the axis order of the spec.
+template <typename Acc>
+struct GenericSweepResult {
   SweepSpec spec;
-  std::vector<Accumulator> cells;
+  std::vector<Acc> cells;
 
-  std::size_t flat_index(const std::vector<std::size_t>& idx) const;
-  const Accumulator& cell(const std::vector<std::size_t>& idx) const {
+  std::size_t flat_index(const std::vector<std::size_t>& idx) const {
+    return flat_cell_index(spec, idx);
+  }
+  const Acc& cell(const std::vector<std::size_t>& idx) const {
     return cells[flat_index(idx)];
   }
 };
+
+/// Scalar sweeps reduce into the mergeable moments Accumulator.
+using SweepResult = GenericSweepResult<Accumulator>;
 
 /// One Monte-Carlo trial: observe the scenario, draw from rng, return the
 /// sample (NaN = cell not applicable).
 using TrialFn = std::function<double(const Scenario&, Rng&)>;
 
-/// Run the sweep on `threads` workers (0 = hardware concurrency). Cells are
-/// distributed dynamically; results are bit-identical for any thread count.
+/// The RNG substream of one (cell, trial) pair: O(1), order-independent,
+/// shared by the scalar and generic engines (and usable by callers that
+/// need to re-materialize a trial's stream, e.g. for resume or debugging).
+Rng trial_rng(const SweepSpec& spec, std::size_t cell, int trial);
+
+namespace detail {
+/// Abort on malformed specs (no axes, empty axis, label/value mismatch).
+void validate_spec(const SweepSpec& spec);
+/// Decode a row-major flat cell index into per-axis levels.
+std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell);
+}  // namespace detail
+
+/// Generic reduce engine: run every (cell, trial) on `threads` workers
+/// (0 = hardware concurrency) and fold each trial's result into that cell's
+/// accumulator, strictly in trial order within a cell. `init` seeds every
+/// cell (copied). `fold` is invoked as fold(acc, result) or, if it accepts
+/// a third parameter, fold(acc, result, scenario). Cells are distributed
+/// dynamically; because every trial draws from its own substream and folds
+/// in trial order, results are bit-identical for any thread count.
+template <typename Acc, typename Trial, typename Fold>
+GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
+                                         Trial&& trial, Fold&& fold,
+                                         int threads = 0) {
+  detail::validate_spec(spec);
+  GenericSweepResult<Acc> result;
+  result.spec = spec;
+  result.cells.assign(spec.cell_count(), std::move(init));
+  ThreadPool pool(threads);
+  pool.parallel_for(result.cells.size(), [&](std::size_t cell) {
+    const std::vector<std::size_t> idx = detail::decode_cell(spec, cell);
+    Acc& acc = result.cells[cell];
+    for (int t = 0; t < spec.trials; ++t) {
+      Rng rng = trial_rng(spec, cell, t);
+      const Scenario scenario(spec, cell, idx, t);
+      if constexpr (std::is_invocable_v<Fold&, Acc&,
+                                        decltype(trial(scenario, rng)),
+                                        const Scenario&>) {
+        fold(acc, trial(scenario, rng), scenario);
+      } else {
+        fold(acc, trial(scenario, rng));
+      }
+    }
+  });
+  return result;
+}
+
+/// Scalar sweep: a thin adapter over run_sweep_reduce with an Accumulator
+/// per cell (NaN results leave the cell untouched). Bit-identical to the
+/// pre-generic engine for any thread count.
 SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn,
                       int threads = 0);
 

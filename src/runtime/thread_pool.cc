@@ -7,6 +7,13 @@
 
 namespace ihbd::runtime {
 
+namespace {
+// The pool whose worker_loop is running on this thread, if any. Lets
+// parallel_for detect re-entry from one of its own workers and degrade to
+// inline execution instead of deadlocking on helpers that can never run.
+thread_local const ThreadPool* current_pool = nullptr;
+}  // namespace
+
 int ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -30,6 +37,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -68,6 +76,14 @@ void ThreadPool::parallel_for(std::size_t n,
                               std::size_t grain) {
   IHBD_EXPECTS(grain >= 1);
   if (n == 0) return;
+
+  // Re-entrant call from one of this pool's own workers: helpers would sit
+  // behind the caller in the queue while the caller blocks on them, so run
+  // the whole range inline on this thread instead.
+  if (current_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
 
   // Shared fan-out state: a dynamic index cursor plus first-error capture.
   struct Shared {

@@ -42,6 +42,8 @@ class ThreadPool {
   /// of `grain` indices, so uneven per-index cost still balances. If any
   /// body throws, the first exception (in completion order) is rethrown
   /// here after remaining work is cancelled; the pool stays usable.
+  /// Re-entrant calls from one of this pool's own workers degrade to
+  /// inline (serial) execution on that worker rather than deadlocking.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
 

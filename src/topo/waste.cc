@@ -2,10 +2,99 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/contracts.h"
+#include "src/runtime/thread_pool.h"
 
 namespace ihbd::topo {
+
+namespace {
+
+void append_series(TimeSeries& dst, TimeSeries&& src) {
+  if (dst.t.empty()) {
+    dst = std::move(src);
+    return;
+  }
+  dst.t.insert(dst.t.end(), src.t.begin(), src.t.end());
+  dst.v.insert(dst.v.end(), src.v.begin(), src.v.end());
+}
+
+}  // namespace
+
+void TraceWindowFragment::merge_next(TraceWindowFragment&& next) {
+  append_series(waste_ratio, std::move(next.waste_ratio));
+  append_series(usable_gpus, std::move(next.usable_gpus));
+  waste_acc.merge(next.waste_acc);
+}
+
+TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
+                                        const fault::FaultTrace& trace,
+                                        int tp_size_gpus,
+                                        const std::vector<double>& days,
+                                        const fault::SampleWindow& window,
+                                        bool keep_samples) {
+  IHBD_EXPECTS(window.begin + window.count <= days.size());
+  TraceWindowFragment frag;
+  frag.waste_acc.set_keep_samples(keep_samples);
+  for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
+    const double day = days[i];
+    const auto mask = trace.faulty_at(day);
+    const Allocation alloc = arch.allocate(mask, tp_size_gpus);
+    const double waste = alloc.waste_ratio();
+    frag.waste_ratio.push(day, waste);
+    frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
+    frag.waste_acc.add(waste);
+  }
+  return frag;
+}
+
+TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
+                                           const fault::FaultTrace& trace,
+                                           int tp_size_gpus,
+                                           const TraceReplayOptions& options) {
+  IHBD_EXPECTS(trace.node_count() == arch.node_count());
+  IHBD_EXPECTS(options.step_days > 0.0);
+  IHBD_EXPECTS(options.threads >= 0);
+
+  const std::vector<double> days = trace.sample_days(options.step_days);
+  const auto windows = fault::split_windows(days.size(),
+                                            options.window_samples);
+  std::vector<TraceWindowFragment> fragments(windows.size());
+  const auto replay_one = [&](std::size_t w) {
+    const auto& window = windows[w];
+    // Slicing bounds each worker's event scan to its own day range.
+    const fault::FaultTrace sliced = trace.slice(
+        days[window.begin], days[window.begin + window.count - 1]);
+    fragments[w] =
+        replay_trace_window(arch, sliced, tp_size_gpus, days, window,
+                            options.keep_samples);
+  };
+  const int workers = options.threads == 0
+                          ? runtime::ThreadPool::default_threads()
+                          : options.threads;
+  if (workers == 1 || windows.size() <= 1) {
+    // No pool to spawn/join: the common case inside sweep cells, which
+    // already own the cores (bench::replay_trace_grid passes threads=1).
+    for (std::size_t w = 0; w < windows.size(); ++w) replay_one(w);
+  } else {
+    runtime::ThreadPool pool(workers);
+    pool.parallel_for(windows.size(), replay_one);
+  }
+
+  // Merge fragments strictly in window order: the concatenated series and
+  // the sample-retaining accumulator then match the serial reference
+  // bit-for-bit regardless of thread count.
+  TraceWasteResult out;
+  if (fragments.empty()) return out;
+  TraceWindowFragment merged = std::move(fragments.front());
+  for (std::size_t w = 1; w < fragments.size(); ++w)
+    merged.merge_next(std::move(fragments[w]));
+  out.waste_ratio = std::move(merged.waste_ratio);
+  out.usable_gpus = std::move(merged.usable_gpus);
+  out.waste_summary = merged.waste_acc.summary();
+  return out;
+}
 
 TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
                                            const fault::FaultTrace& trace,

@@ -1,11 +1,26 @@
 // Evaluation drivers for HBD fault resilience (paper §6.2): GPU waste ratio
 // over a fault trace or fault-ratio sweep, maximum supported job scale, and
 // job fault-waiting rate. Shared by Figs. 13-16 and 20-23 benches.
+//
+// Trace replay comes in two forms:
+//   * evaluate_waste_over_trace(arch, trace, tp, step_days) — the serial
+//     reference: one pass over the sample days.
+//   * evaluate_waste_over_trace(arch, trace, tp, TraceReplayOptions) — the
+//     windowed parallel replay: the sample-day sequence is split into
+//     windows (fault::split_windows), each window replays a sliced
+//     sub-trace on a ThreadPool worker, and the per-window
+//     Accumulator/TimeSeries fragments merge in window order. Output is
+//     bit-identical to the serial reference for any thread count and any
+//     window size (when keep_samples is true).
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/fault/trace.h"
+#include "src/runtime/accumulate.h"
 #include "src/topo/hbd.h"
 
 namespace ihbd::topo {
@@ -17,8 +32,49 @@ struct TraceWasteResult {
   Summary waste_summary;   ///< summary over waste_ratio.v
 };
 
-/// Replay `trace` against `arch` with TP size `tp_size_gpus`, sampling every
-/// `step_days`.
+/// Tuning knobs of the windowed parallel replay.
+struct TraceReplayOptions {
+  double step_days = 1.0;
+  int threads = 0;  ///< replay workers; 0 = hardware concurrency
+  /// Samples per parallel window (0 = one window spanning the trace).
+  std::size_t window_samples = 64;
+  /// Retain per-sample values inside the merged waste summary so its
+  /// percentiles are exact. false bounds memory to O(series) — the summary
+  /// degrades to moments (percentile fields = mean), the series are kept.
+  bool keep_samples = true;
+};
+
+/// One window's fragment of a trace replay. merge_next() appends the
+/// fragment of the immediately following window; the operation is
+/// associative, so fragments may be combined pairwise in any tree shape as
+/// long as window order is preserved.
+struct TraceWindowFragment {
+  TimeSeries waste_ratio;
+  TimeSeries usable_gpus;
+  runtime::Accumulator waste_acc;
+
+  void merge_next(TraceWindowFragment&& next);
+};
+
+/// Replay the samples days[window.begin .. window.begin+window.count) of
+/// `trace` (typically a FaultTrace::slice covering just that day range).
+TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
+                                        const fault::FaultTrace& trace,
+                                        int tp_size_gpus,
+                                        const std::vector<double>& days,
+                                        const fault::SampleWindow& window,
+                                        bool keep_samples = true);
+
+/// Windowed parallel replay of `trace` against `arch` with TP size
+/// `tp_size_gpus`; see the header comment for the determinism contract.
+TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
+                                           const fault::FaultTrace& trace,
+                                           int tp_size_gpus,
+                                           const TraceReplayOptions& options);
+
+/// Serial reference replay, sampling every `step_days`. Kept as the
+/// bit-equivalence oracle for the windowed replay (tests) and for callers
+/// that want no thread machinery.
 TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
                                            const fault::FaultTrace& trace,
                                            int tp_size_gpus,

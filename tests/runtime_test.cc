@@ -110,6 +110,17 @@ TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
   EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPool, ParallelForFromWorkerTaskRunsInline) {
+  // A parallel_for issued from a task already running on the pool must not
+  // wait on helpers queued behind itself (deadlock with 1 worker); it
+  // degrades to inline execution on that worker.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.submit([&] { pool.parallel_for(10, [&](std::size_t) { ++ran; }); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 10);
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(3);
   std::atomic<int> ran{0};
@@ -288,6 +299,84 @@ TEST(Sweep, KeepSamplesOffStillHasMoments) {
   EXPECT_EQ(result.cell({0, 0}).count(),
             static_cast<std::size_t>(spec.trials));
   EXPECT_GT(result.cell({0, 0}).mean(), 0.0);
+}
+
+// --- Generic reduce engine -------------------------------------------------
+
+TEST(GenericSweep, ScalarAdapterIsBitIdenticalToManualFold) {
+  // run_sweep must be exactly the generic engine + Accumulator fold.
+  const auto spec = small_spec();
+  const auto scalar = run_sweep(spec, noisy_trial, 4);
+  Accumulator init;
+  init.set_keep_samples(spec.keep_samples);
+  const auto generic = run_sweep_reduce(
+      spec, init, noisy_trial,
+      [](Accumulator& acc, double x) {
+        if (!std::isnan(x)) acc.add(x);
+      },
+      4);
+  ASSERT_EQ(scalar.cells.size(), generic.cells.size());
+  for (std::size_t c = 0; c < scalar.cells.size(); ++c) {
+    EXPECT_EQ(scalar.cells[c].samples(), generic.cells[c].samples());
+    EXPECT_EQ(scalar.cells[c].count(), generic.cells[c].count());
+  }
+}
+
+TEST(GenericSweep, NonScalarResultsFoldInTrialOrder) {
+  // Trials return a struct; the accumulator is a vector of them. Fold order
+  // within a cell must be trial order for ANY thread count.
+  struct Draw {
+    int trial;
+    double value;
+  };
+  auto spec = small_spec();
+  spec.trials = 40;
+  auto run = [&](int threads) {
+    return run_sweep_reduce(
+        spec, std::vector<Draw>{},
+        [](const Scenario& s, Rng& rng) {
+          return Draw{s.trial(), rng.uniform()};
+        },
+        [](std::vector<Draw>& acc, Draw&& d) { acc.push_back(d); }, threads);
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  ASSERT_EQ(serial.cells.size(), spec.cell_count());
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    ASSERT_EQ(serial.cells[c].size(), 40u);
+    for (int t = 0; t < 40; ++t) {
+      EXPECT_EQ(serial.cells[c][t].trial, t);
+      EXPECT_EQ(serial.cells[c][t].value, wide.cells[c][t].value);
+    }
+  }
+}
+
+TEST(GenericSweep, FoldMaySeeTheScenario) {
+  auto spec = small_spec();
+  spec.trials = 3;
+  const auto result = run_sweep_reduce(
+      spec, 0.0, [](const Scenario&, Rng&) { return 1.0; },
+      [](double& acc, double x, const Scenario& s) {
+        acc += x * s.value(0);  // scale by the cell's numeric level
+      },
+      2);
+  EXPECT_DOUBLE_EQ(result.cell({0, 0}), 3 * 0.1);
+  EXPECT_DOUBLE_EQ(result.cell({2, 1}), 3 * 0.9);
+}
+
+TEST(GenericSweep, TrialRngMatchesEngineSubstreams) {
+  // trial_rng exposes the exact stream a (cell, trial) pair consumed.
+  auto spec = small_spec();
+  spec.trials = 5;
+  const auto result = run_sweep(
+      spec, [](const Scenario&, Rng& rng) { return rng.uniform(); }, 3);
+  for (std::size_t cell = 0; cell < spec.cell_count(); ++cell) {
+    for (int t = 0; t < spec.trials; ++t) {
+      Rng rng = trial_rng(spec, cell, t);
+      EXPECT_EQ(result.cells[cell].samples()[static_cast<std::size_t>(t)],
+                rng.uniform());
+    }
+  }
 }
 
 // --- Report ---------------------------------------------------------------
