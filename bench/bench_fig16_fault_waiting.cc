@@ -32,7 +32,12 @@ int main(int argc, char** argv) {
   const auto usable = runtime::parallel_map(
       grid,
       [&](const Cell& cell) {
-        return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp, 1.0)
+        topo::TraceReplayOptions ropts;
+        ropts.threads = 1;  // parallel_map already owns the cores
+        ropts.keep_samples = false;  // only the usable series is read
+        ropts.incremental = opt.incremental;
+        return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp,
+                                               ropts)
             .usable_gpus;
       },
       opt.threads);

@@ -1,0 +1,104 @@
+// Micro-benchmark for the trace-replay tiers (see src/topo/waste.h):
+// serial oracle, windowed from-scratch replay, and event-driven incremental
+// replay, on the 348-day production-calibrated sim trace (720 4-GPU nodes,
+// same cluster as Figs. 13/15/16/20). Reports replayed samples per second
+// per tier; CI runs it to track the incremental speedup. Built directly on
+// the vendored bench/microbench.h harness so it needs no Google Benchmark.
+#include <chrono>
+#include <cstddef>
+
+#include "bench/fault_bench_common.h"
+#include "bench/microbench.h"
+#include "src/topo/khop_ring.h"
+#include "src/topo/waste.h"
+
+using namespace ihbd;
+
+namespace {
+
+const fault::FaultTrace& sim_trace() {
+  static const fault::FaultTrace trace = bench::make_sim_trace();
+  return trace;
+}
+
+const topo::KHopRing& khop_ring() {
+  static const topo::KHopRing ring(bench::kNodes4, bench::kGpusPerNode, 2);
+  return ring;
+}
+
+topo::TraceReplayOptions replay_options(bool incremental,
+                                        double step_days = 1.0) {
+  topo::TraceReplayOptions opts;
+  opts.step_days = step_days;
+  opts.threads = 1;  // isolate the per-sample cost, not pool fan-out
+  opts.incremental = incremental;
+  return opts;
+}
+
+/// Shared measured loop: replays per iteration, reports samples/second.
+template <typename Replay>
+void run_replay_bench(benchmark::State& state, Replay&& replay) {
+  std::size_t samples = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const topo::TraceWasteResult result = replay();
+    benchmark::DoNotOptimize(result);
+    samples += result.waste_ratio.size();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (secs > 0.0)
+    state.counters["samples/s"] = static_cast<double>(samples) / secs;
+}
+
+}  // namespace
+
+static void BM_replay_serial(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp, 1.0);
+  });
+}
+BENCHMARK(BM_replay_serial)->Arg(8)->Arg(32);
+
+static void BM_replay_windowed(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           replay_options(false));
+  });
+}
+BENCHMARK(BM_replay_windowed)->Arg(8)->Arg(32);
+
+static void BM_replay_incremental(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           replay_options(true));
+  });
+}
+BENCHMARK(BM_replay_incremental)->Arg(8)->Arg(32);
+
+// Quarter-day sampling: the event-driven tier's home turf — the transition
+// count is fixed by the trace, so 4x the samples cost the serial tiers 4x
+// but the incremental tier almost nothing (most samples see no flips).
+static void BM_replay_serial_quarter_day(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           0.25);
+  });
+}
+BENCHMARK(BM_replay_serial_quarter_day)->Arg(32);
+
+static void BM_replay_incremental_quarter_day(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           replay_options(true, 0.25));
+  });
+}
+BENCHMARK(BM_replay_incremental_quarter_day)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -19,6 +19,10 @@ struct Options {
   bool quick = false;   ///< reduced trial counts (CI mode)
   int trials = 0;       ///< 0 = the bench's own default (--trials N)
   int threads = 0;      ///< 0 = hardware concurrency (--threads N)
+  /// Event-driven trace replay (--incremental 0|1). On by default; 0 runs
+  /// the from-scratch windowed replay — output is bit-identical either way
+  /// (CI diffs the two).
+  bool incremental = true;
 };
 
 namespace detail {
@@ -26,9 +30,18 @@ namespace detail {
 [[noreturn]] inline void usage_error(const char* prog, const std::string& why) {
   std::fprintf(stderr,
                "%s: %s\n"
-               "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N]\n",
+               "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N] "
+               "[--incremental 0|1]\n",
                prog, why.c_str(), prog);
   std::exit(2);
+}
+
+inline bool parse_bool01(const char* prog, const std::string& flag,
+                         const char* text) {
+  const std::string value = text;
+  if (value != "0" && value != "1")
+    usage_error(prog, flag + " expects 0 or 1, got '" + value + "'");
+  return value == "1";
 }
 
 inline int parse_positive_int(const char* prog, const std::string& flag,
@@ -63,6 +76,10 @@ inline Options parse_args(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (++i >= argc) detail::usage_error(prog, "--threads expects a value");
       opt.threads = detail::parse_positive_int(prog, arg, argv[i]);
+    } else if (arg == "--incremental") {
+      if (++i >= argc)
+        detail::usage_error(prog, "--incremental expects 0 or 1");
+      opt.incremental = detail::parse_bool01(prog, arg, argv[i]);
     } else {
       detail::usage_error(prog, "unknown flag '" + arg + "'");
     }

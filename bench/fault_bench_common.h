@@ -41,15 +41,17 @@ inline bool arch_supports_tp(const topo::HbdArchitecture& arch, int tp) {
   return true;
 }
 
-/// The (TP x architecture) trace-replay grid shared by Figs. 13, 15 and 20,
-/// run on the generic sweep engine: one windowed trace replay per supported
-/// cell, fanned across --threads. Unsupported cells keep the
+/// The (TP x architecture) trace-replay grid shared by Figs. 13, 15, 16 and
+/// 20, run on the generic sweep engine: one windowed trace replay per
+/// supported cell, fanned across --threads. Unsupported cells keep the
 /// default-constructed (empty) TraceWasteResult. The replay is
-/// deterministic, so the grid is bit-identical for any thread count.
+/// deterministic, so the grid is bit-identical for any thread count AND for
+/// either `incremental` setting (event-driven cursor+allocator replay vs
+/// from-scratch re-allocation; CI diffs the two).
 inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
     const std::vector<std::unique_ptr<topo::HbdArchitecture>>& archs,
     const fault::FaultTrace& trace, std::vector<double> tps, int threads,
-    bool keep_samples = true) {
+    bool keep_samples = true, bool incremental = true) {
   runtime::SweepSpec spec;
   spec.trials = 1;  // replay is deterministic; the grid itself is the work
   spec.keep_samples = keep_samples;
@@ -68,6 +70,7 @@ inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
         topo::TraceReplayOptions opts;
         opts.threads = 1;  // the sweep's pool already owns the cores
         opts.keep_samples = s.spec().keep_samples;
+        opts.incremental = incremental;
         return topo::evaluate_waste_over_trace(arch, trace, tp, opts);
       },
       [](topo::TraceWasteResult& acc, topo::TraceWasteResult&& replay) {

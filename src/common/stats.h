@@ -27,6 +27,11 @@ Summary summarize(std::span<const double> xs);
 /// Linear-interpolation percentile, q in [0, 100]. Requires non-empty input.
 double percentile(std::span<const double> xs, double q);
 
+/// percentile() for input that is already sorted ascending — skips the
+/// per-call copy+sort, so one sort can serve many quantile reads (summarize
+/// uses this for p50/p90/p99). Requires non-empty input.
+double percentile_sorted(std::span<const double> sorted, double q);
+
 /// Arithmetic mean; 0 for empty input.
 double mean(std::span<const double> xs);
 

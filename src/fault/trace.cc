@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <mutex>
 #include <tuple>
 
 #include "src/common/contracts.h"
@@ -9,10 +11,16 @@
 
 namespace ihbd::fault {
 
+struct FaultTrace::TimelineCache {
+  std::once_flag once;
+  std::shared_ptr<const std::vector<FaultTransition>> edges;
+};
+
 FaultTrace::FaultTrace(int node_count, double duration_days,
                        std::vector<FaultEvent> events)
     : node_count_(node_count), duration_days_(duration_days),
-      events_(std::move(events)) {
+      events_(std::move(events)),
+      timeline_cache_(std::make_shared<TimelineCache>()) {
   if (node_count <= 0) throw ConfigError("node_count must be positive");
   if (duration_days <= 0.0) throw ConfigError("duration must be positive");
   for (const auto& e : events_) {
@@ -61,7 +69,41 @@ FaultTrace FaultTrace::slice(double start_day, double end_day) const {
     if (e.start_day > end_day) break;  // events_ sorted by start_day
     if (e.end_day > start_day) overlapping.push_back(e);
   }
-  return FaultTrace(node_count_, duration_days_, std::move(overlapping));
+  // Clamp the slice's duration to just past end_day (nextafter keeps
+  // end_day itself inside `day < duration` sample loops and stays positive
+  // even for end_day == 0), so sample_days()/ratio_series() on a slice stop
+  // at the slice boundary instead of running over the full trace range.
+  const double sliced_duration =
+      std::min(duration_days_,
+               std::nextafter(end_day, std::numeric_limits<double>::infinity()));
+  return FaultTrace(node_count_, sliced_duration, std::move(overlapping));
+}
+
+std::vector<FaultTransition> FaultTrace::transitions() const {
+  std::vector<FaultTransition> edges;
+  edges.reserve(events_.size() * 2);
+  for (const auto& e : events_) {
+    edges.push_back({e.start_day, e.node, /*down=*/true});
+    edges.push_back({e.end_day, e.node, /*down=*/false});
+  }
+  // Deterministic total order. Ties within one day may be applied in any
+  // order (active-interval counts are order-independent); the sort only
+  // keeps repeated runs bit-stable.
+  std::sort(edges.begin(), edges.end(),
+            [](const FaultTransition& a, const FaultTransition& b) {
+              return std::tie(a.day, a.node, a.down) <
+                     std::tie(b.day, b.node, b.down);
+            });
+  return edges;
+}
+
+std::shared_ptr<const std::vector<FaultTransition>>
+FaultTrace::transition_timeline() const {
+  std::call_once(timeline_cache_->once, [&] {
+    timeline_cache_->edges =
+        std::make_shared<const std::vector<FaultTransition>>(transitions());
+  });
+  return timeline_cache_->edges;
 }
 
 TimeSeries FaultTrace::ratio_series(double step_days) const {

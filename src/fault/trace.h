@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,6 +24,17 @@ struct FaultEvent {
   double end_day = 0.0;
 
   double duration() const { return end_day - start_day; }
+};
+
+/// One edge of a trace's transition timeline: at `day`, `node` either goes
+/// down (a fault interval starts) or comes back up (it ends). Derived from
+/// FaultEvent half-open intervals, so a down edge takes effect at any
+/// sample day >= `day` and an up edge at any sample day >= `day` as well
+/// (matching `start_day <= d` / `end_day <= d` in faulty_at exactly).
+struct FaultTransition {
+  double day = 0.0;
+  int node = 0;
+  bool down = false;  ///< true: fault begins; false: repair completes
 };
 
 /// An immutable fault trace over a fixed node count and duration.
@@ -48,10 +60,29 @@ class FaultTrace {
 
   /// Sub-trace restricted to the events overlapping the closed interval
   /// [start_day, end_day]: faulty_at(d) on the slice matches the full trace
-  /// for every d in that range (masks for days outside it are meaningless).
-  /// Node count and duration are preserved; this is the unit of work for
-  /// the windowed parallel replay in src/topo/waste.h.
+  /// for every d in that range (masks for days before start_day are
+  /// meaningless). Node count is preserved; the slice's duration_days() is
+  /// clamped to just past end_day, so sample_days()/ratio_series() on a
+  /// slice stop at the slice boundary instead of iterating over the full
+  /// trace's range. This is the unit of work for the windowed parallel
+  /// replay in src/topo/waste.h (which enumerates days from the *full*
+  /// trace, so the clamp does not affect its sample sequence).
   FaultTrace slice(double start_day, double end_day) const;
+
+  /// The sorted transition timeline: one `down` edge per event start and
+  /// one `up` edge per event end, ordered by (day, node, up-before-down).
+  /// Events may overlap on one node; consumers must count active intervals
+  /// per node (see FaultMaskCursor in src/fault/transitions.h) — a node is
+  /// faulty while its active count is positive, which reproduces
+  /// faulty_at() bit-for-bit.
+  std::vector<FaultTransition> transitions() const;
+
+  /// Shared, lazily built view of transitions(): computed once per trace on
+  /// first use (thread-safe; copies of the trace share the cache) so
+  /// repeated replays — every cell of a TP x architecture grid, every
+  /// window of a parallel replay — skip the timeline sort.
+  std::shared_ptr<const std::vector<FaultTransition>> transition_timeline()
+      const;
 
   /// Fault-node-ratio time series sampled every `step_days`.
   TimeSeries ratio_series(double step_days = 1.0) const;
@@ -77,9 +108,12 @@ class FaultTrace {
   FaultTrace remap_nodes(int new_node_count) const;
 
  private:
+  struct TimelineCache;
+
   int node_count_;
   double duration_days_;
   std::vector<FaultEvent> events_;  // sorted by start_day
+  std::shared_ptr<TimelineCache> timeline_cache_;  // filled on first use
 };
 
 /// A contiguous run of replay samples: indices [begin, begin + count) into

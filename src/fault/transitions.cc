@@ -1,0 +1,51 @@
+#include "src/fault/transitions.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::fault {
+
+FaultMaskCursor::FaultMaskCursor(const FaultTrace& trace)
+    : timeline_(trace.transition_timeline()),
+      active_(static_cast<std::size_t>(trace.node_count()), 0),
+      mask_(static_cast<std::size_t>(trace.node_count()), false),
+      touch_stamp_(static_cast<std::size_t>(trace.node_count()), 0),
+      day_(-std::numeric_limits<double>::infinity()) {}
+
+const std::vector<int>& FaultMaskCursor::advance_to(double day) {
+  IHBD_EXPECTS(day >= day_);
+  day_ = day;
+  touched_.clear();
+  const std::vector<FaultTransition>& timeline = *timeline_;
+  // Apply every edge with edge.day <= day: the same comparisons faulty_at
+  // uses (start_day <= d for down, end_day <= d for up), so the resulting
+  // active-interval counts reproduce its mask exactly.
+  while (next_ < timeline.size() && timeline[next_].day <= day) {
+    const FaultTransition& edge = timeline[next_++];
+    const auto node = static_cast<std::size_t>(edge.node);
+    active_[node] += edge.down ? 1 : -1;
+    if (!touch_stamp_[node]) {
+      touch_stamp_[node] = 1;
+      touched_.push_back(edge.node);
+    }
+  }
+  // Net flips only: a node touched by cancelling edges (zero-length event,
+  // same-day down+up, overlapping intervals) keeps its bit and is not
+  // reported.
+  flipped_.clear();
+  for (const int node : touched_) {
+    const auto i = static_cast<std::size_t>(node);
+    touch_stamp_[i] = 0;
+    const bool now = active_[i] > 0;
+    if (mask_[i] != now) {
+      mask_[i] = now;
+      flipped_.push_back(node);
+    }
+  }
+  std::sort(flipped_.begin(), flipped_.end());
+  return flipped_;
+}
+
+}  // namespace ihbd::fault

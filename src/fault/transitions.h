@@ -1,0 +1,60 @@
+// Event-driven fault-mask replay (the incremental tier of the trace
+// replay, see src/topo/waste.h).
+//
+// FaultTrace::faulty_at(day) rebuilds the whole mask by scanning events at
+// every sample; between two consecutive sample days, though, only the
+// handful of nodes with a transition in that interval actually change. The
+// FaultMaskCursor walks the trace's sorted transition timeline once,
+// applying deltas as it advances, and reports exactly which nodes flipped —
+// the masks it exposes are bit-identical to faulty_at() at every day.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/fault/trace.h"
+
+namespace ihbd::fault {
+
+/// Forward-only cursor over a trace's transition timeline.
+///
+/// advance_to(day) applies every transition with `transition.day <= day`
+/// (monotonically non-decreasing days across calls) and returns the nodes
+/// whose faulty bit actually flipped since the previous position —
+/// deduplicated and net of cancelling transitions, so a zero-length event
+/// or a same-day down+up pair reports nothing. Because a node is faulty
+/// while its count of active fault intervals is positive, mask() equals
+/// trace.faulty_at(day) bit-for-bit, including on overlapping events and on
+/// FaultTrace::slice sub-traces (within the sliced day range).
+class FaultMaskCursor {
+ public:
+  /// Binds to trace.transition_timeline(), so cursors over the same trace
+  /// (all windows of a replay, all cells of a grid) share one sorted
+  /// timeline instead of re-sorting per cursor.
+  explicit FaultMaskCursor(const FaultTrace& trace);
+
+  /// Advance to `day` (must be >= the previous call's day). Returns the
+  /// nodes whose faulty bit flipped, ascending; valid until the next call.
+  const std::vector<int>& advance_to(double day);
+
+  /// Current fault mask; equals trace.faulty_at(day()) after advance_to.
+  const std::vector<bool>& mask() const { return mask_; }
+
+  /// The day of the last advance_to (-inf before the first call).
+  double day() const { return day_; }
+
+  /// Transitions not yet applied (the timeline has 2 * events() edges).
+  std::size_t remaining() const { return timeline_->size() - next_; }
+
+ private:
+  std::shared_ptr<const std::vector<FaultTransition>> timeline_;
+  std::size_t next_ = 0;           // first unapplied timeline entry
+  std::vector<int> active_;        // active fault intervals per node
+  std::vector<bool> mask_;         // active_[i] > 0
+  std::vector<int> flipped_;       // result buffer for advance_to
+  std::vector<int> touched_;       // scratch: nodes hit in current batch
+  std::vector<char> touch_stamp_;  // scratch: membership flag for touched_
+  double day_;
+};
+
+}  // namespace ihbd::fault

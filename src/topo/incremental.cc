@@ -1,0 +1,353 @@
+#include "src/topo/incremental.h"
+
+#include <algorithm>
+
+#include "src/common/contracts.h"
+#include "src/common/error.h"
+
+namespace ihbd::topo {
+
+// ---------------------------------------------------------------------------
+// MemoizingAllocator
+// ---------------------------------------------------------------------------
+
+MemoizingAllocator::MemoizingAllocator(const HbdArchitecture& arch,
+                                       int tp_size_gpus)
+    : arch_(arch), tp_size_gpus_(tp_size_gpus) {
+  if (tp_size_gpus <= 0 || tp_size_gpus % arch.gpus_per_node() != 0)
+    throw ConfigError("TP size must be a positive multiple of GPUs/node");
+}
+
+const Allocation& MemoizingAllocator::apply(const std::vector<bool>& mask,
+                                            const std::vector<int>& flipped) {
+  if (!initialized_ || !flipped.empty()) {
+    alloc_ = arch_.allocate(mask, tp_size_gpus_);
+    initialized_ = true;
+  }
+  return alloc_;
+}
+
+// ---------------------------------------------------------------------------
+// KHopRingIncrementalAllocator
+//
+// Invariants (mirroring KHopRing::healthy_arcs exactly):
+//   * faulty_ / fenwick_ / healthy_count_ track the healthy node set, and
+//     prev_/next_ link the healthy nodes into a circular list (entries for
+//     faulty nodes are stale until they come back up).
+//   * cuts_ holds every healthy position p whose link to the next healthy
+//     node s (clockwise, wrapping) is NOT bypassable: the faulty gap
+//     between them exceeds K-1 hops, or it is the wrap link of the line
+//     variant. A lone healthy node's self-link is always a cut.
+//   * Arcs are the intervals between consecutive cuts: for each c in
+//     cuts_, one arc holding the healthy nodes in (c, next_cut(c)]. With
+//     no cuts (and any healthy nodes) the ring is one unbroken circular
+//     arc of healthy_count_ nodes.
+//   * wasted_nodes_ is the sum of len % m over all arcs — exactly what
+//     allocate() derives from its arc walk; usable nodes follow as
+//     healthy_count_ - wasted_nodes_ (usable + wasted = healthy, always).
+//
+// A single-node flip only disturbs the links incident to the flipped node
+// x and its healthy neighbors p and s: cut membership can change at keys p
+// and x only. Every affected arc therefore lies between the nearest
+// *persistent* cuts around the neighborhood (cA counterclockwise of p, cB
+// clockwise of x); flip() subtracts the arcs in that window, mutates the
+// structures, and re-adds the window's arcs — O(log N) per flip. When no
+// persistent cut exists the whole ring holds at most three arcs and is
+// re-accumulated globally at the same cost.
+// ---------------------------------------------------------------------------
+
+KHopRingIncrementalAllocator::KHopRingIncrementalAllocator(const KHopRing& ring,
+                                                           int tp_size_gpus)
+    : ring_(ring), n_(ring.node_count()), circular_(ring.is_ring()) {
+  if (tp_size_gpus <= 0 || tp_size_gpus % ring.gpus_per_node() != 0)
+    throw ConfigError("TP size must be a positive multiple of GPUs/node");
+  m_ = tp_size_gpus / ring.gpus_per_node();
+}
+
+void KHopRingIncrementalAllocator::fenwick_add(int i, int delta) {
+  for (++i; i <= n_; i += i & -i) fenwick_[static_cast<std::size_t>(i)] += delta;
+}
+
+int KHopRingIncrementalAllocator::healthy_prefix(int i) const {
+  int s = 0;
+  for (++i; i > 0; i -= i & -i) s += fenwick_[static_cast<std::size_t>(i)];
+  return s;
+}
+
+int KHopRingIncrementalAllocator::next_healthy_of_faulty(int x) const {
+  // Walk the faulty run clockwise. Expected O(1 / healthy ratio) steps —
+  // faulty runs are short at realistic fault ratios, and masks dense
+  // enough to make this long have few healthy nodes changing hands anyway.
+  int s = x + 1 == n_ ? 0 : x + 1;
+  while (faulty_[static_cast<std::size_t>(s)]) s = s + 1 == n_ ? 0 : s + 1;
+  return s;
+}
+
+int KHopRingIncrementalAllocator::arc_len(int a, int b) const {
+  if (a == b) return healthy_count_;  // full circle
+  const int pa = healthy_prefix(a);
+  const int pb = healthy_prefix(b);
+  return a < b ? pb - pa : healthy_count_ - pa + pb;
+}
+
+int KHopRingIncrementalAllocator::gap(int p, int s) const {
+  const int d = s - p - 1;  // p == s (lone node) -> n - 1
+  return d < 0 ? d + n_ : d;
+}
+
+bool KHopRingIncrementalAllocator::is_cut_link(int p, int s) const {
+  if (gap(p, s) > ring_.max_bypassable_run()) return true;
+  return !circular_ && s <= p;  // the line variant has no wrap link
+}
+
+int KHopRingIncrementalAllocator::next_cut(int c) const {
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), c);
+  return it == cuts_.end() ? cuts_.front() : *it;
+}
+
+int KHopRingIncrementalAllocator::prev_cut_excluding(int from, int e1,
+                                                     int e2) const {
+  std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(cuts_.begin(), cuts_.end(), from) - cuts_.begin());
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    idx = (idx == 0 ? cuts_.size() : idx) - 1;  // step backwards, wrapping
+    const int v = cuts_[idx];
+    if (v != e1 && v != e2) return v;
+  }
+  return -1;
+}
+
+int KHopRingIncrementalAllocator::next_cut_excluding(int from, int e1,
+                                                     int e2) const {
+  std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(cuts_.begin(), cuts_.end(), from) - cuts_.begin());
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    if (idx == cuts_.size()) idx = 0;
+    const int v = cuts_[idx];
+    if (v != e1 && v != e2) return v;
+    ++idx;
+  }
+  return -1;
+}
+
+void KHopRingIncrementalAllocator::cut_erase(int key) {
+  const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), key);
+  if (it != cuts_.end() && *it == key) cuts_.erase(it);
+}
+
+void KHopRingIncrementalAllocator::cut_insert(int key) {
+  cuts_.insert(std::lower_bound(cuts_.begin(), cuts_.end(), key), key);
+}
+
+void KHopRingIncrementalAllocator::add_arc(int len, int sign) {
+  wasted_nodes_ += sign * (len % m_);
+}
+
+void KHopRingIncrementalAllocator::accumulate_window(int from_cut, int to_cut,
+                                                     int sign) {
+  // Consecutive arcs share a boundary, so chain the prefix sums: one
+  // Fenwick query per cut instead of two per arc.
+  int c = from_cut;
+  int pc = healthy_prefix(c);
+  while (true) {
+    const int cn = next_cut(c);
+    const int pn = c == cn ? pc : healthy_prefix(cn);
+    const int len =
+        c == cn ? healthy_count_
+                : (c < cn ? pn - pc : healthy_count_ - pc + pn);
+    add_arc(len, sign);
+    if (cn == to_cut) break;
+    c = cn;
+    pc = pn;
+  }
+}
+
+void KHopRingIncrementalAllocator::accumulate_all(int sign) {
+  if (healthy_count_ == 0) return;
+  if (cuts_.empty()) {  // unbroken circular arc
+    add_arc(healthy_count_, sign);
+    return;
+  }
+  const int c0 = *cuts_.begin();
+  accumulate_window(c0, c0, sign);
+}
+
+void KHopRingIncrementalAllocator::rebuild(const std::vector<bool>& mask) {
+  faulty_.assign(static_cast<std::size_t>(n_), 0);
+  prev_.assign(static_cast<std::size_t>(n_), 0);
+  next_.assign(static_cast<std::size_t>(n_), 0);
+  fenwick_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  healthy_count_ = 0;
+  cuts_.clear();
+  wasted_nodes_ = 0;
+  std::vector<int> healthy;
+  healthy.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    if (mask[static_cast<std::size_t>(i)]) {
+      faulty_[static_cast<std::size_t>(i)] = 1;
+    } else {
+      healthy.push_back(i);
+      fenwick_add(i, +1);
+      ++healthy_count_;
+    }
+  }
+  for (std::size_t idx = 0; idx < healthy.size(); ++idx) {
+    const int p = healthy[idx];
+    const int s = healthy[(idx + 1) % healthy.size()];
+    next_[static_cast<std::size_t>(p)] = s;
+    prev_[static_cast<std::size_t>(s)] = p;
+    if (is_cut_link(p, s)) cuts_.push_back(p);  // p ascending: stays sorted
+  }
+  accumulate_all(+1);
+  initialized_ = true;
+}
+
+void KHopRingIncrementalAllocator::flip(int x) {
+  const bool to_faulty = !faulty_[static_cast<std::size_t>(x)];
+
+  // Lone-node transitions have no healthy neighbors to define links.
+  if (to_faulty && healthy_count_ == 1) {
+    accumulate_all(-1);
+    faulty_[static_cast<std::size_t>(x)] = 1;
+    fenwick_add(x, -1);
+    healthy_count_ = 0;
+    cuts_.clear();
+    return;
+  }
+  if (!to_faulty && healthy_count_ == 0) {
+    faulty_[static_cast<std::size_t>(x)] = 0;
+    fenwick_add(x, +1);
+    healthy_count_ = 1;
+    prev_[static_cast<std::size_t>(x)] = x;
+    next_[static_cast<std::size_t>(x)] = x;
+    cut_insert(x);  // a lone node's self-link is always a cut
+    accumulate_all(+1);
+    return;
+  }
+
+  // Healthy neighbors of x, excluding x itself (ring order p -> x -> s with
+  // only faulty nodes in between; p == s when only one other node exists).
+  // Down-flips read them off the linked list in O(1); up-flips walk the
+  // faulty run to the successor.
+  const int s = to_faulty ? next_[static_cast<std::size_t>(x)]
+                          : next_healthy_of_faulty(x);
+  const int p = to_faulty ? prev_[static_cast<std::size_t>(x)]
+                          : prev_[static_cast<std::size_t>(s)];
+
+  // Structural mutations shared by all tiers below.
+  const auto unlink_x = [&] {
+    faulty_[static_cast<std::size_t>(x)] = 1;
+    fenwick_add(x, -1);
+    --healthy_count_;
+    next_[static_cast<std::size_t>(p)] = s;
+    prev_[static_cast<std::size_t>(s)] = p;
+  };
+  const auto link_x = [&] {
+    faulty_[static_cast<std::size_t>(x)] = 0;
+    fenwick_add(x, +1);
+    ++healthy_count_;
+    next_[static_cast<std::size_t>(p)] = x;
+    prev_[static_cast<std::size_t>(x)] = p;
+    next_[static_cast<std::size_t>(x)] = s;
+    prev_[static_cast<std::size_t>(s)] = x;
+  };
+
+  // An up-flip can only shrink gaps, so it introduces a cut only via the
+  // line variant's wrap link (s <= p); a down-flip only via the new (p, s)
+  // link. Everything else leaves cut membership untouched.
+  if (to_faulty ? (!is_cut_link(p, x) && !is_cut_link(x, s) &&
+                   !is_cut_link(p, s))
+                : !is_cut_link(p, s)) {
+    if (cuts_.empty()) {
+      // Tier 1: unbroken ring stays unbroken. The single circular arc
+      // changes length by one, so the wasted residue (== healthy_count_ %
+      // m_ here) steps modularly — no division, no search, no Fenwick
+      // range query.
+      if (to_faulty) {
+        unlink_x();
+        wasted_nodes_ = wasted_nodes_ == 0 ? m_ - 1 : wasted_nodes_ - 1;
+      } else {
+        link_x();
+        if (++wasted_nodes_ == m_) wasted_nodes_ = 0;
+      }
+    } else {
+      // Tier 2: arc-interior flip with cuts elsewhere. Only the arc
+      // containing x changes length; locate it with two plain binary
+      // searches (p and x hold no cuts here, so no exclusions needed).
+      const auto lb = std::lower_bound(cuts_.begin(), cuts_.end(), x);
+      const int ca = lb == cuts_.begin() ? cuts_.back() : *(lb - 1);
+      const int cb = next_cut(ca);
+      const int len = arc_len(ca, cb);  // before the mutation, so with x
+      if (to_faulty) {
+        unlink_x();
+        wasted_nodes_ += (len - 1) % m_ - len % m_;
+      } else {
+        link_x();
+        wasted_nodes_ += (len + 1) % m_ - len % m_;
+      }
+    }
+    return;
+  }
+
+  // Tier 3 (general): cut membership changes at keys p and x only; the
+  // affected arcs lie between the nearest persistent cuts around the
+  // neighborhood. Subtract those arcs, mutate, re-add them.
+  const int ca = prev_cut_excluding(p, p, x);
+  const int cb = ca < 0 ? -1 : next_cut_excluding(x, p, x);
+
+  if (ca < 0) {
+    accumulate_all(-1);
+  } else {
+    accumulate_window(ca, cb, -1);
+  }
+
+  if (to_faulty) {
+    unlink_x();
+    cut_erase(x);  // old link x -> s
+    cut_erase(p);  // old link p -> x
+    const int s2 = healthy_count_ == 1 ? p : s;
+    if (is_cut_link(p, s2)) cut_insert(p);  // new link p -> s
+  } else {
+    link_x();
+    cut_erase(p);  // old link p -> s
+    if (is_cut_link(p, x)) cut_insert(p);
+    const int s2 = healthy_count_ == 2 ? p : s;
+    if (is_cut_link(x, s2)) cut_insert(x);
+  }
+
+  if (ca < 0) {
+    accumulate_all(+1);
+  } else {
+    accumulate_window(ca, cb, +1);
+  }
+}
+
+const Allocation& KHopRingIncrementalAllocator::apply(
+    const std::vector<bool>& mask, const std::vector<int>& flipped) {
+  IHBD_EXPECTS(static_cast<int>(mask.size()) == n_);
+  if (!initialized_) {
+    rebuild(mask);
+  } else {
+    for (const int x : flipped) {
+      IHBD_EXPECTS(x >= 0 && x < n_);
+      // Tolerate spurious entries: only apply genuine bit changes.
+      if (static_cast<bool>(faulty_[static_cast<std::size_t>(x)]) !=
+          mask[static_cast<std::size_t>(x)])
+        flip(x);
+    }
+  }
+  alloc_.total_gpus = ring_.total_gpus();
+  alloc_.faulty_gpus = (n_ - healthy_count_) * ring_.gpus_per_node();
+  alloc_.usable_gpus = (healthy_count_ - wasted_nodes_) * ring_.gpus_per_node();
+  alloc_.wasted_healthy_gpus = wasted_nodes_ * ring_.gpus_per_node();
+  return alloc_;
+}
+
+std::unique_ptr<IncrementalAllocator> make_incremental_allocator(
+    const HbdArchitecture& arch, int tp_size_gpus) {
+  if (const auto* ring = dynamic_cast<const KHopRing*>(&arch))
+    return std::make_unique<KHopRingIncrementalAllocator>(*ring, tp_size_gpus);
+  return std::make_unique<MemoizingAllocator>(arch, tp_size_gpus);
+}
+
+}  // namespace ihbd::topo

@@ -1,0 +1,124 @@
+// Incremental allocation (the event-driven replay tier, see waste.h).
+//
+// Replaying a fault trace calls HbdArchitecture::allocate() once per sample
+// day, but between consecutive samples only the nodes with a fault
+// transition change — usually none, sometimes a handful. An
+// IncrementalAllocator keeps the allocation state alive across samples and
+// updates it from the per-sample flip list a fault::FaultMaskCursor
+// produces:
+//
+//   * MemoizingAllocator — generic fallback for any architecture: memoizes
+//     the last Allocation and re-runs allocate() only when at least one bit
+//     actually flipped. Zero-transition samples (the common case at
+//     sub-day steps) cost O(1).
+//   * KHopRingIncrementalAllocator — true incremental implementation for
+//     the K-Hop Ring: maintains the healthy-arc decomposition (a Fenwick
+//     tree over healthy nodes plus the set of non-bypassable cut links)
+//     under single-node flips in O(log N) per flip, never rebuilding the
+//     full N-node arc walk.
+//
+// Both produce aggregate fields (total/faulty/usable/wasted GPUs, and thus
+// waste_ratio()) bit-identical to arch.allocate(mask, tp) on the same mask.
+// The K-Hop implementation does not materialize Allocation::groups (the
+// replay metrics never read them); MemoizingAllocator returns whatever the
+// wrapped allocate() produced, groups included.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/topo/hbd.h"
+#include "src/topo/khop_ring.h"
+
+namespace ihbd::topo {
+
+/// Allocation state that survives across replay samples and is patched by
+/// fault deltas instead of recomputed from scratch.
+class IncrementalAllocator {
+ public:
+  virtual ~IncrementalAllocator() = default;
+
+  /// The allocation for `mask`, given that exactly the nodes in `flipped`
+  /// changed their faulty bit since the previous call (as reported by
+  /// FaultMaskCursor::advance_to). The first call initializes from `mask`
+  /// wholesale and may ignore `flipped`. Nodes listed in `flipped` whose
+  /// bit did not actually change are tolerated (skipped or re-evaluated,
+  /// never corrupting state). The reference stays valid until the next
+  /// call.
+  virtual const Allocation& apply(const std::vector<bool>& mask,
+                                  const std::vector<int>& flipped) = 0;
+};
+
+/// Generic fallback: re-runs arch.allocate() only when the mask changed.
+class MemoizingAllocator : public IncrementalAllocator {
+ public:
+  /// `arch` must outlive the allocator.
+  MemoizingAllocator(const HbdArchitecture& arch, int tp_size_gpus);
+
+  const Allocation& apply(const std::vector<bool>& mask,
+                          const std::vector<int>& flipped) override;
+
+ private:
+  const HbdArchitecture& arch_;
+  int tp_size_gpus_;
+  bool initialized_ = false;
+  Allocation alloc_;
+};
+
+/// True incremental allocator for KHopRing (ring and line variants).
+class KHopRingIncrementalAllocator : public IncrementalAllocator {
+ public:
+  /// `ring` must outlive the allocator; `tp_size_gpus` must be a positive
+  /// multiple of ring.gpus_per_node() (same contract as allocate()).
+  KHopRingIncrementalAllocator(const KHopRing& ring, int tp_size_gpus);
+
+  const Allocation& apply(const std::vector<bool>& mask,
+                          const std::vector<int>& flipped) override;
+
+ private:
+  // --- arc bookkeeping (see incremental.cc for the invariants) ---
+  int healthy_prefix(int i) const;      // #healthy in [0..i]
+  int arc_len(int a, int b) const;      // #healthy in ring-interval (a, b]
+  int gap(int p, int s) const;          // #faulty strictly between p and s
+  bool is_cut_link(int p, int s) const; // link p -> s not bypassable
+  int next_cut(int c) const;            // smallest cut > c, wrapping
+  int prev_cut_excluding(int from, int e1, int e2) const;
+  int next_cut_excluding(int from, int e1, int e2) const;
+  void cut_erase(int key);
+  void cut_insert(int key);
+  int next_healthy_of_faulty(int x) const;  // smallest healthy > x, wrapping
+  void add_arc(int len, int sign);
+  void accumulate_window(int from_cut, int to_cut, int sign);
+  void accumulate_all(int sign);
+  void fenwick_add(int i, int delta);
+  void rebuild(const std::vector<bool>& mask);
+  void flip(int x);
+
+  const KHopRing& ring_;
+  int n_;                    // node count
+  int m_;                    // nodes per TP group
+  bool circular_;            // ring (true) vs line variant
+  bool initialized_ = false;
+  std::vector<char> faulty_;
+  // Circular doubly-linked list over healthy nodes (entries of faulty
+  // nodes are stale): O(1) neighbor lookup on down-flips.
+  std::vector<int> prev_, next_;
+  std::vector<int> fenwick_; // healthy-indicator prefix sums (1-based)
+  int healthy_count_ = 0;
+  // Healthy positions p whose following link is a cut, sorted ascending.
+  // A flat vector: cut sets are tiny on realistic fault ratios (a cut
+  // needs a faulty run >= K), so binary search + memmove beat a node-based
+  // set on every operation.
+  std::vector<int> cuts_;
+  // Sum over arcs of len % m. Usable nodes need no separate counter:
+  // usable + wasted = healthy, always.
+  int wasted_nodes_ = 0;
+  Allocation alloc_;
+};
+
+/// The right allocator for `arch`: the true incremental implementation for
+/// KHopRing, the memoizing fallback for everything else.
+std::unique_ptr<IncrementalAllocator> make_incremental_allocator(
+    const HbdArchitecture& arch, int tp_size_gpus);
+
+}  // namespace ihbd::topo

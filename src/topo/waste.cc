@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "src/common/contracts.h"
+#include "src/fault/transitions.h"
 #include "src/runtime/thread_pool.h"
+#include "src/topo/incremental.h"
 
 namespace ihbd::topo {
 
@@ -49,6 +51,34 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
   return frag;
 }
 
+TraceWindowFragment replay_trace_window_incremental(
+    const HbdArchitecture& arch, const fault::FaultTrace& trace,
+    int tp_size_gpus, const std::vector<double>& days,
+    const fault::SampleWindow& window, bool keep_samples) {
+  IHBD_EXPECTS(window.begin + window.count <= days.size());
+  TraceWindowFragment frag;
+  frag.waste_acc.set_keep_samples(keep_samples);
+  frag.waste_ratio.t.reserve(window.count);
+  frag.waste_ratio.v.reserve(window.count);
+  frag.usable_gpus.t.reserve(window.count);
+  frag.usable_gpus.v.reserve(window.count);
+  fault::FaultMaskCursor cursor(trace);
+  const auto allocator = make_incremental_allocator(arch, tp_size_gpus);
+  for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
+    const double day = days[i];
+    // The cursor's mask equals trace.faulty_at(day) bit-for-bit, and the
+    // allocator's aggregates equal arch.allocate(mask, tp) on it, so this
+    // fragment matches replay_trace_window exactly.
+    const std::vector<int>& flipped = cursor.advance_to(day);
+    const Allocation& alloc = allocator->apply(cursor.mask(), flipped);
+    const double waste = alloc.waste_ratio();
+    frag.waste_ratio.push(day, waste);
+    frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
+    frag.waste_acc.add(waste);
+  }
+  return frag;
+}
+
 TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
                                            const fault::FaultTrace& trace,
                                            int tp_size_gpus,
@@ -58,21 +88,33 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
   IHBD_EXPECTS(options.threads >= 0);
 
   const std::vector<double> days = trace.sample_days(options.step_days);
-  const auto windows = fault::split_windows(days.size(),
-                                            options.window_samples);
-  std::vector<TraceWindowFragment> fragments(windows.size());
-  const auto replay_one = [&](std::size_t w) {
-    const auto& window = windows[w];
-    // Slicing bounds each worker's event scan to its own day range.
-    const fault::FaultTrace sliced = trace.slice(
-        days[window.begin], days[window.begin + window.count - 1]);
-    fragments[w] =
-        replay_trace_window(arch, sliced, tp_size_gpus, days, window,
-                            options.keep_samples);
-  };
   const int workers = options.threads == 0
                           ? runtime::ThreadPool::default_threads()
                           : options.threads;
+  // A single worker gains nothing from window splits; one window lets the
+  // incremental tier keep one cursor/allocator alive over the whole trace
+  // instead of fast-forwarding a fresh one per window. Output is identical
+  // for any window size, so this is purely a perf choice.
+  const std::size_t window_samples =
+      options.incremental && workers == 1 ? 0 : options.window_samples;
+  const auto windows = fault::split_windows(days.size(), window_samples);
+  std::vector<TraceWindowFragment> fragments(windows.size());
+  const auto replay_one = [&](std::size_t w) {
+    const auto& window = windows[w];
+    if (options.incremental) {
+      // The cursor walks the (shared, cached) transition timeline, so the
+      // full trace is passed directly — no per-window slice needed.
+      fragments[w] = replay_trace_window_incremental(
+          arch, trace, tp_size_gpus, days, window, options.keep_samples);
+    } else {
+      // Slicing bounds each worker's per-sample event scan to its own day
+      // range.
+      const fault::FaultTrace sliced = trace.slice(
+          days[window.begin], days[window.begin + window.count - 1]);
+      fragments[w] = replay_trace_window(arch, sliced, tp_size_gpus, days,
+                                         window, options.keep_samples);
+    }
+  };
   if (workers == 1 || windows.size() <= 1) {
     // No pool to spawn/join: the common case inside sweep cells, which
     // already own the cores (bench::replay_trace_grid passes threads=1).
@@ -131,10 +173,14 @@ int max_job_scale(const TimeSeries& usable_gpus, double quantile,
   IHBD_EXPECTS(tp_size_gpus > 0);
   if (usable_gpus.v.empty()) return 0;
   // The job size supportable `quantile` of the time is the
-  // (1 - quantile)-percentile of the usable series.
+  // (1 - quantile)-percentile of the usable series. The series holds
+  // integer GPU counts, but linear interpolation (and the (1 - quantile)
+  // rank itself) carries FP noise, so a mathematically integral result can
+  // land at 959.999... — truncating that floors away an entire TP group.
+  // Round within an epsilon before flooring.
   const double val =
       percentile(usable_gpus.v, (1.0 - quantile) * 100.0);
-  const int gpus = static_cast<int>(val);
+  const int gpus = static_cast<int>(std::floor(val + 1e-9));
   return (gpus / tp_size_gpus) * tp_size_gpus;
 }
 

@@ -2,16 +2,24 @@
 // over a fault trace or fault-ratio sweep, maximum supported job scale, and
 // job fault-waiting rate. Shared by Figs. 13-16 and 20-23 benches.
 //
-// Trace replay comes in two forms:
+// Trace replay comes in three tiers:
 //   * evaluate_waste_over_trace(arch, trace, tp, step_days) — the serial
-//     reference: one pass over the sample days.
+//     reference: one pass over the sample days, re-allocating from scratch
+//     at each. Kept as the bit-equivalence oracle.
 //   * evaluate_waste_over_trace(arch, trace, tp, TraceReplayOptions) — the
 //     windowed parallel replay: the sample-day sequence is split into
 //     windows (fault::split_windows), each window replays a sliced
 //     sub-trace on a ThreadPool worker, and the per-window
-//     Accumulator/TimeSeries fragments merge in window order. Output is
-//     bit-identical to the serial reference for any thread count and any
-//     window size (when keep_samples is true).
+//     Accumulator/TimeSeries fragments merge in window order.
+//   * The same entry point with options.incremental (the default): each
+//     window walks the trace's transition timeline with a
+//     fault::FaultMaskCursor and patches a topo::IncrementalAllocator by
+//     fault deltas, so samples with no transitions never re-allocate and
+//     KHopRing windows update their healthy-arc state in O(log N) per
+//     transition (see incremental.h).
+// All tiers produce bit-identical output for any thread count, window size
+// and incremental setting (when keep_samples is true; with it off the
+// summary degrades to moments identically in every tier).
 #pragma once
 
 #include <cstddef>
@@ -42,6 +50,10 @@ struct TraceReplayOptions {
   /// percentiles are exact. false bounds memory to O(series) — the summary
   /// degrades to moments (percentile fields = mean), the series are kept.
   bool keep_samples = true;
+  /// Replay each window event-driven (cursor + incremental allocator)
+  /// instead of re-allocating from scratch at every sample. Bit-identical
+  /// either way; off exists for oracle comparisons and CI diff jobs.
+  bool incremental = true;
 };
 
 /// One window's fragment of a trace replay. merge_next() appends the
@@ -57,13 +69,26 @@ struct TraceWindowFragment {
 };
 
 /// Replay the samples days[window.begin .. window.begin+window.count) of
-/// `trace` (typically a FaultTrace::slice covering just that day range).
+/// `trace` (typically a FaultTrace::slice covering just that day range),
+/// re-allocating from scratch at every sample.
 TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
                                         const fault::FaultTrace& trace,
                                         int tp_size_gpus,
                                         const std::vector<double>& days,
                                         const fault::SampleWindow& window,
                                         bool keep_samples = true);
+
+/// Event-driven variant of replay_trace_window: advances a
+/// fault::FaultMaskCursor across the window's sample days and feeds the
+/// flip deltas to a topo::IncrementalAllocator. Bit-identical fragment.
+/// Unlike the from-scratch variant this is normally handed the FULL trace
+/// (the cursor fast-forwards to the window start over the trace's shared
+/// cached timeline; no per-window slice is needed), though a slice
+/// covering the window also works.
+TraceWindowFragment replay_trace_window_incremental(
+    const HbdArchitecture& arch, const fault::FaultTrace& trace,
+    int tp_size_gpus, const std::vector<double>& days,
+    const fault::SampleWindow& window, bool keep_samples = true);
 
 /// Windowed parallel replay of `trace` against `arch` with TP size
 /// `tp_size_gpus`; see the header comment for the determinism contract.

@@ -398,6 +398,18 @@ TEST(WasteDrivers, MaxJobScaleQuantiles) {
   EXPECT_GE(max_job_scale(usable, 0.5, 32), (1040 / 32) * 32);
 }
 
+TEST(WasteDrivers, MaxJobScaleSurvivesPercentileFpNoise) {
+  // 11 samples: one dip to 0, plateau at 960. quantile = 0.9 puts the
+  // percentile rank mathematically dead on sorted index 1 (value 960), but
+  // (1 - 0.9) * 100 = 9.999999999999998 interpolates to 959.99999999999977;
+  // a raw int cast truncated that to 959 and floored away an entire TP-32
+  // group (928 instead of 960).
+  TimeSeries usable;
+  usable.push(0.0, 0.0);
+  for (int i = 1; i <= 10; ++i) usable.push(i, 960.0);
+  EXPECT_EQ(max_job_scale(usable, 0.9, 32), 960);
+}
+
 TEST(WasteDrivers, FaultWaitingRate) {
   TimeSeries usable;
   for (int i = 0; i < 10; ++i) usable.push(i, i < 3 ? 900.0 : 1100.0);

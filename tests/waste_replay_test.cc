@@ -73,10 +73,27 @@ TEST(TraceSlice, MasksMatchFullTraceInsideTheWindow) {
   const double lo = 10.0, hi = 20.0;
   const auto sliced = trace.slice(lo, hi);
   EXPECT_EQ(sliced.node_count(), trace.node_count());
-  EXPECT_EQ(sliced.duration_days(), trace.duration_days());
   EXPECT_LE(sliced.events().size(), trace.events().size());
   for (double day : {10.0, 13.7, 20.0})
     EXPECT_EQ(sliced.faulty_at(day), trace.faulty_at(day)) << "day " << day;
+}
+
+TEST(TraceSlice, DurationClampsToTheSliceEnd) {
+  const auto trace = small_trace();  // 45 days
+  const auto sliced = trace.slice(10.0, 20.0);
+  // Clamped to just past end_day: sample_days/ratio_series stop at the
+  // slice boundary (end_day itself still included) instead of running over
+  // the full 45-day range.
+  EXPECT_GE(sliced.duration_days(), 20.0);
+  EXPECT_LT(sliced.duration_days(), 20.0 + 1e-9);
+  const auto days = sliced.sample_days(1.0);
+  ASSERT_EQ(days.size(), 21u);  // 0..20 inclusive
+  EXPECT_EQ(days.back(), 20.0);
+  EXPECT_EQ(sliced.ratio_series(1.0).size(), 21u);
+  // A slice past the trace end keeps the full duration.
+  EXPECT_EQ(trace.slice(0.0, 100.0).duration_days(), trace.duration_days());
+  // Degenerate slice at day 0 stays constructible and samples one day.
+  EXPECT_EQ(trace.slice(0.0, 0.0).sample_days(1.0).size(), 1u);
 }
 
 // --- windowed replay vs serial reference ---------------------------------
@@ -89,13 +106,17 @@ TEST(WindowedReplay, BitIdenticalToSerialAcrossThreadsAndWindows) {
 
   for (int threads : {1, 2, 8}) {
     for (std::size_t window : {1ul, 3ul, 7ul, 64ul, 1000ul, 0ul}) {
-      TraceReplayOptions opts;
-      opts.threads = threads;
-      opts.window_samples = window;
-      const auto windowed = evaluate_waste_over_trace(ring, trace, 8, opts);
-      SCOPED_TRACE("threads=" + std::to_string(threads) +
-                   " window=" + std::to_string(window));
-      expect_same_result(serial, windowed);
+      for (bool incremental : {false, true}) {
+        TraceReplayOptions opts;
+        opts.threads = threads;
+        opts.window_samples = window;
+        opts.incremental = incremental;
+        const auto windowed = evaluate_waste_over_trace(ring, trace, 8, opts);
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " window=" + std::to_string(window) +
+                     " incremental=" + std::to_string(incremental));
+        expect_same_result(serial, windowed);
+      }
     }
   }
 }
