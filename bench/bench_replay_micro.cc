@@ -1,14 +1,21 @@
 // Micro-benchmark for the trace-replay tiers (see src/topo/waste.h):
 // serial oracle, windowed from-scratch replay, and event-driven incremental
 // replay, on the 348-day production-calibrated sim trace (720 4-GPU nodes,
-// same cluster as Figs. 13/15/16/20). Reports replayed samples per second
-// per tier; CI runs it to track the incremental speedup. Built directly on
-// the vendored bench/microbench.h harness so it needs no Google Benchmark.
+// same cluster as Figs. 13/15/16/20). Covers the K-Hop Ring and the
+// baseline architectures (per-island allocators vs the memoizing fallback
+// they replaced). Reports replayed samples per second per tier; CI runs it
+// to track the speedups. Built directly on the vendored bench/microbench.h
+// harness so it needs no Google Benchmark.
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
+#include <memory>
 
 #include "bench/fault_bench_common.h"
 #include "bench/microbench.h"
+#include "src/fault/transitions.h"
+#include "src/topo/baselines.h"
+#include "src/topo/incremental.h"
 #include "src/topo/khop_ring.h"
 #include "src/topo/waste.h"
 
@@ -35,21 +42,29 @@ topo::TraceReplayOptions replay_options(bool incremental,
   return opts;
 }
 
-/// Shared measured loop: replays per iteration, reports samples/second.
-template <typename Replay>
-void run_replay_bench(benchmark::State& state, Replay&& replay) {
+/// Shared measured loop: `iteration` does one replay and returns how many
+/// samples it covered; reports samples/second. Every tier reports through
+/// this one wrapper so the numbers stay comparable.
+template <typename Iteration>
+void run_samples_bench(benchmark::State& state, Iteration&& iteration) {
   std::size_t samples = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  for (auto _ : state) {
-    const topo::TraceWasteResult result = replay();
-    benchmark::DoNotOptimize(result);
-    samples += result.waste_ratio.size();
-  }
+  for (auto _ : state) samples += iteration();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (secs > 0.0)
     state.counters["samples/s"] = static_cast<double>(samples) / secs;
+}
+
+/// run_samples_bench for the evaluate_waste_over_trace tiers.
+template <typename Replay>
+void run_replay_bench(benchmark::State& state, Replay&& replay) {
+  run_samples_bench(state, [&] {
+    const topo::TraceWasteResult result = replay();
+    benchmark::DoNotOptimize(result);
+    return result.waste_ratio.size();
+  });
 }
 
 }  // namespace
@@ -79,6 +94,84 @@ static void BM_replay_incremental(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_replay_incremental)->Arg(8)->Arg(32);
+
+// --- baseline architectures: per-island allocators vs memoizing fallback --
+//
+// Arg encodes (architecture, TP): the paper baselines that used to ride the
+// O(N)-per-transition MemoizingAllocator and now have true per-island
+// incremental allocators. TPUv4 appears in both regimes (per-cube
+// fragmentation at TP-32, pooled clean-cube assembly at TP-128).
+
+namespace {
+
+struct BaselineCase {
+  const char* label;
+  int tp;
+};
+constexpr BaselineCase kBaselineCases[] = {
+    {"NVL-72", 32}, {"TPUv4", 32}, {"TPUv4", 128},
+    {"SiP-Ring", 32}, {"Big-Switch", 32},
+};
+
+const topo::HbdArchitecture& baseline_arch(int case_index) {
+  static const auto archs = bench::make_archs();
+  const char* want = kBaselineCases[case_index].label;
+  for (const auto& arch : archs)
+    if (arch->name() == want) return *arch;
+  std::abort();  // unreachable: every case names a paper architecture
+}
+
+/// Replay loop pinned to a specific IncrementalAllocator implementation
+/// (the production path dispatches via make_incremental_allocator, which
+/// no longer hands baselines the memoizing fallback — so the fallback tier
+/// is driven directly here for the comparison).
+template <typename MakeAllocator>
+void run_allocator_replay_bench(benchmark::State& state,
+                                MakeAllocator&& make_allocator) {
+  const auto c = kBaselineCases[state.range(0)];
+  const topo::HbdArchitecture& arch = baseline_arch(
+      static_cast<int>(state.range(0)));
+  const std::vector<double> days = sim_trace().sample_days(1.0);
+  run_samples_bench(state, [&] {
+    fault::FaultMaskCursor cursor(sim_trace());
+    const auto allocator = make_allocator(arch, c.tp);
+    double sink = 0.0;
+    for (const double day : days) {
+      const std::vector<int>& flipped = cursor.advance_to(day);
+      sink += allocator->apply(cursor.mask(), flipped).waste_ratio();
+    }
+    benchmark::DoNotOptimize(sink);
+    return days.size();
+  });
+}
+
+}  // namespace
+
+static void BM_baseline_serial(benchmark::State& state) {
+  const auto c = kBaselineCases[state.range(0)];
+  const topo::HbdArchitecture& arch =
+      baseline_arch(static_cast<int>(state.range(0)));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(arch, sim_trace(), c.tp, 1.0);
+  });
+}
+BENCHMARK(BM_baseline_serial)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+static void BM_baseline_memoizing(benchmark::State& state) {
+  run_allocator_replay_bench(state, [](const topo::HbdArchitecture& arch,
+                                       int tp) {
+    return std::make_unique<topo::MemoizingAllocator>(arch, tp);
+  });
+}
+BENCHMARK(BM_baseline_memoizing)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+static void BM_baseline_island(benchmark::State& state) {
+  run_allocator_replay_bench(state, [](const topo::HbdArchitecture& arch,
+                                       int tp) {
+    return topo::make_incremental_allocator(arch, tp);
+  });
+}
+BENCHMARK(BM_baseline_island)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 // Quarter-day sampling: the event-driven tier's home turf — the transition
 // count is fixed by the trace, so 4x the samples cost the serial tiers 4x

@@ -8,11 +8,16 @@
 // Counter, and BENCHMARK_MAIN(). Timing is adaptive: each benchmark reruns
 // with a growing iteration count until it occupies a minimum wall-clock
 // window, then reports ns/iteration plus any user counters.
+// The measurement window defaults to 0.05 s per benchmark and can be
+// overridden with the IHBD_MICROBENCH_MIN_TIME environment variable
+// (seconds; CI's quick mode uses a smaller window so the full registry
+// stays cheap to run on every push).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -112,10 +117,24 @@ inline Handle* Register(const char* name, void (*fn)(State&)) {
   return handles.back().get();
 }
 
+/// Minimum measured wall-clock per benchmark; IHBD_MICROBENCH_MIN_TIME
+/// (seconds) overrides the 0.05 s default.
+inline double min_seconds() {
+  static const double cached = [] {
+    if (const char* env = std::getenv("IHBD_MICROBENCH_MIN_TIME")) {
+      char* end = nullptr;
+      const double v = std::strtod(env, &end);
+      if (end != env && v >= 0.0) return v;
+    }
+    return 0.05;
+  }();
+  return cached;
+}
+
 inline void run_one(const Registered& bench,
                     const std::vector<std::int64_t>& args) {
   using clock = std::chrono::steady_clock;
-  constexpr double kMinSeconds = 0.05;
+  const double kMinSeconds = min_seconds();
   constexpr std::int64_t kMaxIters = std::int64_t{1} << 30;
 
   double elapsed = 0.0;

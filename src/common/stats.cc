@@ -80,6 +80,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // NaN compares false against both range guards and would reach the bin
+  // cast below with an unrepresentable value (UB); count it separately.
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
   std::size_t bin;
   if (x < lo_) {
     bin = 0;

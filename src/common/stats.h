@@ -50,16 +50,23 @@ std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
 /// Fixed-bin histogram.
 class Histogram {
  public:
-  /// Bins cover [lo, hi) uniformly; values outside are clamped into the
-  /// first/last bin. Requires bins >= 1 and lo < hi.
+  /// Bins cover [lo, hi) uniformly with half-open [bin_lo, bin_lo + width)
+  /// bins; values outside are clamped into the first/last bin (so x == hi,
+  /// though outside the nominal half-open range, lands in the last bin).
+  /// Requires bins >= 1 and lo < hi.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Bins `x` as documented above. NaN inputs fit no bin: they are counted
+  /// in nan_count() only and excluded from total().
   void add(double x);
   void add_all(std::span<const double> xs);
 
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Number of binned (non-NaN) values; always the sum over count(bin).
   std::size_t total() const { return total_; }
+  /// Number of NaN inputs that were rejected by add().
+  std::size_t nan_count() const { return nan_count_; }
   /// Center value of a bin.
   double bin_center(std::size_t bin) const;
   /// Lower edge of a bin.
@@ -73,6 +80,7 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 /// A (time, value) series, e.g. fault ratio per day.

@@ -45,6 +45,21 @@ void Accumulator::merge(const Accumulator& other) {
   }
 }
 
+bool Accumulator::set_keep_samples(bool keep) {
+  if (!keep) {
+    // Keep the complete-or-empty invariant: a sample array frozen short of
+    // count_ would feed summary() percentiles over a partial subset.
+    samples_.clear();
+    samples_.shrink_to_fit();
+    keep_samples_ = false;
+  } else if (samples_.size() == count_) {
+    keep_samples_ = true;
+  }
+  // else: values were already dropped; the set can never be complete again,
+  // so retention stays off.
+  return keep_samples_;
+}
+
 double Accumulator::variance() const {
   return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
 }
@@ -52,7 +67,11 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 Summary Accumulator::summary() const {
-  if (!samples_.empty()) return summarize(samples_);
+  // The complete-or-empty invariant makes the size check redundant, but it
+  // is cheap and keeps a partial set (should one ever slip in) from
+  // masquerading as the full sample.
+  if (!samples_.empty() && samples_.size() == count_)
+    return summarize(samples_);
   Summary s;
   s.count = count_;
   s.mean = mean();

@@ -14,6 +14,17 @@
 
 namespace ihbd::runtime {
 
+// Sample-retention semantics: `samples_` is always either empty or a
+// complete record of every add (the complete-or-empty invariant), so
+// summary() percentiles are never computed over a partial subset while
+// count() says otherwise. merge() keeps samples only when BOTH sides hold a
+// complete set and this side retains; any mismatch (e.g. a keep_samples
+// accumulator merged with a moments-only one) drops retention entirely
+// rather than concatenating a partial sample array. set_keep_samples
+// preserves the invariant at the only place it could break: disabling
+// retention discards the samples already held, and re-enabling it on an
+// accumulator that has dropped values is refused (the set can never be
+// completed retroactively).
 class Accumulator {
  public:
   void add(double x);
@@ -33,7 +44,10 @@ class Accumulator {
   /// percentile fields are left at the mean (documented approximation).
   Summary summary() const;
 
-  void set_keep_samples(bool keep) { keep_samples_ = keep; }
+  /// Enable/disable sample retention (see the class comment): disabling
+  /// discards retained samples; enabling after values were dropped is a
+  /// no-op (retention stays off). Returns the retention state in effect.
+  bool set_keep_samples(bool keep);
 
  private:
   std::size_t count_ = 0;

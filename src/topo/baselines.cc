@@ -62,6 +62,10 @@ Allocation BigSwitch::allocate(const std::vector<bool>& faulty,
 NvlSwitch::NvlSwitch(int node_count, int gpus_per_node, int hbd_gpus)
     : node_count_(node_count), gpus_per_node_(gpus_per_node),
       hbd_gpus_(hbd_gpus) {
+  // Positivity must be checked before the divisibility tests: 0 % hbd_gpus
+  // passes them, and a non-positive gpus_per_node would divide by zero.
+  if (node_count < 1 || gpus_per_node < 1)
+    throw ConfigError("NvlSwitch: positive node and GPU counts required");
   if (hbd_gpus < gpus_per_node || hbd_gpus % gpus_per_node != 0)
     throw ConfigError("NVL HBD size must be a multiple of GPUs/node");
   if ((node_count * gpus_per_node) % hbd_gpus != 0)
@@ -79,10 +83,10 @@ Allocation NvlSwitch::allocate(const std::vector<bool>& faulty,
   result.total_gpus = total_gpus();
   result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
 
-  const int nodes_per_hbd = hbd_gpus_ / gpus_per_node_;
-  for (int base = 0; base < node_count_; base += nodes_per_hbd) {
+  const IslandPartition islands = island_partition();
+  for (int isl = 0; isl < islands.full_island_count(); ++isl) {
     std::vector<int> healthy;
-    for (int i = base; i < base + nodes_per_hbd; ++i)
+    for (int i = islands.island_begin(isl); i < islands.island_end(isl); ++i)
       if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
     if (tp_size_gpus > hbd_gpus_) {
       // TP cannot span NVL islands: the whole island is unusable.
@@ -100,6 +104,10 @@ Allocation NvlSwitch::allocate(const std::vector<bool>& faulty,
 TpuV4::TpuV4(int node_count, int gpus_per_node, int cube_gpus)
     : node_count_(node_count), gpus_per_node_(gpus_per_node),
       cube_gpus_(cube_gpus) {
+  // Same ordering rationale as NvlSwitch: 0 % cube_gpus passes the
+  // divisibility checks and gpus_per_node == 0 would divide by zero.
+  if (node_count < 1 || gpus_per_node < 1)
+    throw ConfigError("TpuV4: positive node and GPU counts required");
   if (cube_gpus < gpus_per_node || cube_gpus % gpus_per_node != 0)
     throw ConfigError("TPUv4 cube size must be a multiple of GPUs/node");
   if ((node_count * gpus_per_node) % cube_gpus != 0)
@@ -113,12 +121,12 @@ Allocation TpuV4::allocate(const std::vector<bool>& faulty,
   result.total_gpus = total_gpus();
   result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
 
-  const int nodes_per_cube = cube_gpus_ / gpus_per_node_;
+  const IslandPartition cubes = island_partition();
   if (tp_size_gpus <= cube_gpus_) {
     // Per-cube fragmentation: a TP group lives inside one cube.
-    for (int base = 0; base < node_count_; base += nodes_per_cube) {
+    for (int c = 0; c < cubes.full_island_count(); ++c) {
       std::vector<int> healthy;
-      for (int i = base; i < base + nodes_per_cube; ++i)
+      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
         if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
       tile_pool(healthy, m, gpus_per_node_, result);
     }
@@ -128,15 +136,15 @@ Allocation TpuV4::allocate(const std::vector<bool>& faulty,
   // TP > cube: assemble groups from fault-free cubes via the central OCS;
   // any cube containing a fault is wasted entirely (cube explosion radius).
   std::vector<int> clean_pool;
-  for (int base = 0; base < node_count_; base += nodes_per_cube) {
+  for (int c = 0; c < cubes.full_island_count(); ++c) {
     bool clean = true;
-    for (int i = base; i < base + nodes_per_cube; ++i)
+    for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
       if (faulty[static_cast<std::size_t>(i)]) clean = false;
     if (clean) {
-      for (int i = base; i < base + nodes_per_cube; ++i)
+      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
         clean_pool.push_back(i);
     } else {
-      for (int i = base; i < base + nodes_per_cube; ++i)
+      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
         if (!faulty[static_cast<std::size_t>(i)])
           result.wasted_healthy_gpus += gpus_per_node_;
     }
@@ -162,11 +170,11 @@ Allocation SipRing::allocate(const std::vector<bool>& faulty,
 
   // Static rings of exactly m consecutive nodes; trailing nodes that do not
   // fill a ring are structural fragmentation.
-  int base = 0;
-  for (; base + m <= node_count_; base += m) {
+  const IslandPartition rings = ring_partition(m);
+  for (int r = 0; r < rings.full_island_count(); ++r) {
     std::vector<int> members;
     bool broken = false;
-    for (int i = base; i < base + m; ++i) {
+    for (int i = rings.island_begin(r); i < rings.island_begin(r) + m; ++i) {
       if (faulty[static_cast<std::size_t>(i)]) broken = true;
       else members.push_back(i);
     }
@@ -180,7 +188,8 @@ Allocation SipRing::allocate(const std::vector<bool>& faulty,
       result.usable_gpus += m * gpus_per_node_;
     }
   }
-  for (int i = base; i < node_count_; ++i)
+  for (int i = rings.island_begin(rings.full_island_count()); i < node_count_;
+       ++i)
     if (!faulty[static_cast<std::size_t>(i)])
       result.wasted_healthy_gpus += gpus_per_node_;
   return result;

@@ -12,9 +12,41 @@
 #include <string>
 #include <vector>
 
+#include "src/common/contracts.h"
 #include "src/topo/hbd.h"
 
 namespace ihbd::topo {
+
+/// Equal-size contiguous partition of the node range [0, node_count) into
+/// islands (an NVL HBD, a TPUv4 cube, the single Big-Switch domain).
+/// Islands fault and fragment independently, which is what the per-island
+/// incremental allocators in incremental.h exploit: a node flip only
+/// disturbs its own island's aggregate. `node_count` need not be an exact
+/// multiple of `nodes_per_island` in general (SiP-Ring's TP-sized rings
+/// leave a trailing remainder); `full_island_count()` counts only complete
+/// islands.
+struct IslandPartition {
+  /// Validates at construction so the dividing accessors below can never
+  /// hit a zero island size.
+  IslandPartition(int node_count, int nodes_per_island)
+      : node_count(node_count), nodes_per_island(nodes_per_island) {
+    IHBD_EXPECTS(node_count >= 1 && nodes_per_island >= 1);
+  }
+
+  int node_count;
+  int nodes_per_island;
+
+  int full_island_count() const { return node_count / nodes_per_island; }
+  /// Island index of a node; trailing-remainder nodes map to
+  /// full_island_count().
+  int island_of(int node) const { return node / nodes_per_island; }
+  int island_begin(int island) const { return island * nodes_per_island; }
+  /// One past the last node of the island, clamped to the node range.
+  int island_end(int island) const {
+    const int e = (island + 1) * nodes_per_island;
+    return e < node_count ? e : node_count;
+  }
+};
 
 /// The ideal HBD: one giant non-blocking switch over the whole cluster, no
 /// forwarding latency, no fault coupling. Waste is pure global
@@ -25,6 +57,8 @@ class BigSwitch : public HbdArchitecture {
   std::string name() const override { return "Big-Switch"; }
   int node_count() const override { return node_count_; }
   int gpus_per_node() const override { return gpus_per_node_; }
+  /// One global island spanning the whole cluster.
+  IslandPartition island_partition() const { return {node_count_, node_count_}; }
   Allocation allocate(const std::vector<bool>& faulty,
                       int tp_size_gpus) const override;
 
@@ -44,6 +78,11 @@ class NvlSwitch : public HbdArchitecture {
   int node_count() const override { return node_count_; }
   int gpus_per_node() const override { return gpus_per_node_; }
   int hbd_gpus() const { return hbd_gpus_; }
+  int nodes_per_island() const { return hbd_gpus_ / gpus_per_node_; }
+  /// The independent NVL islands (exact partition, no remainder).
+  IslandPartition island_partition() const {
+    return {node_count_, nodes_per_island()};
+  }
   Allocation allocate(const std::vector<bool>& faulty,
                       int tp_size_gpus) const override;
 
@@ -67,6 +106,11 @@ class TpuV4 : public HbdArchitecture {
   int node_count() const override { return node_count_; }
   int gpus_per_node() const override { return gpus_per_node_; }
   int cube_gpus() const { return cube_gpus_; }
+  int nodes_per_cube() const { return cube_gpus_ / gpus_per_node_; }
+  /// The independent cubes (exact partition, no remainder).
+  IslandPartition island_partition() const {
+    return {node_count_, nodes_per_cube()};
+  }
   Allocation allocate(const std::vector<bool>& faulty,
                       int tp_size_gpus) const override;
 
@@ -85,6 +129,11 @@ class SipRing : public HbdArchitecture {
   std::string name() const override { return "SiP-Ring"; }
   int node_count() const override { return node_count_; }
   int gpus_per_node() const override { return gpus_per_node_; }
+  /// The static TP-sized rings for a group size of `tp_nodes` nodes; nodes
+  /// past the last full ring are the structural-fragmentation remainder.
+  IslandPartition ring_partition(int tp_nodes) const {
+    return {node_count_, tp_nodes};
+  }
   Allocation allocate(const std::vector<bool>& faulty,
                       int tp_size_gpus) const override;
 

@@ -343,10 +343,160 @@ const Allocation& KHopRingIncrementalAllocator::apply(
   return alloc_;
 }
 
+// ---------------------------------------------------------------------------
+// Per-island baseline allocators
+//
+// Every §6.1 baseline decomposes into islands that fragment independently,
+// so the per-island aggregates below are exact restatements of the
+// corresponding allocate() arithmetic — integer-only, hence bit-identical:
+//   * modulo islands (Big-Switch / NVL / TPUv4 TP <= cube):
+//       wasted = sum_i healthy_i % m
+//   * TPUv4 pooled (TP > cube), with npc nodes per cube:
+//       wasted = (healthy - clean_cubes * npc) + (clean_cubes * npc) % m
+//   * SiP-Ring: wasted = sum_{broken rings} (m - faults_r) + trailing_healthy
+// A flip touches exactly one island, so each update is O(1).
+// ---------------------------------------------------------------------------
+
+PerIslandAllocatorBase::PerIslandAllocatorBase(const HbdArchitecture& arch,
+                                               int tp_size_gpus)
+    : n_(arch.node_count()), gpus_per_node_(arch.gpus_per_node()) {
+  if (tp_size_gpus <= 0 || tp_size_gpus % arch.gpus_per_node() != 0)
+    throw ConfigError("TP size must be a positive multiple of GPUs/node");
+  m_ = tp_size_gpus / arch.gpus_per_node();
+  alloc_.total_gpus = arch.total_gpus();
+}
+
+const Allocation& PerIslandAllocatorBase::apply(
+    const std::vector<bool>& mask, const std::vector<int>& flipped) {
+  IHBD_EXPECTS(static_cast<int>(mask.size()) == n_);
+  if (!initialized_) {
+    faulty_.assign(static_cast<std::size_t>(n_), 0);
+    healthy_count_ = n_;
+    reset_islands();
+    for (int i = 0; i < n_; ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) continue;
+      faulty_[static_cast<std::size_t>(i)] = 1;
+      --healthy_count_;
+      island_flip(i, /*to_faulty=*/true);
+    }
+    initialized_ = true;
+  } else {
+    for (const int x : flipped) {
+      IHBD_EXPECTS(x >= 0 && x < n_);
+      // Tolerate spurious entries: only apply genuine bit changes.
+      if (static_cast<bool>(faulty_[static_cast<std::size_t>(x)]) ==
+          mask[static_cast<std::size_t>(x)])
+        continue;
+      const bool to_faulty = !faulty_[static_cast<std::size_t>(x)];
+      faulty_[static_cast<std::size_t>(x)] = to_faulty ? 1 : 0;
+      healthy_count_ += to_faulty ? -1 : 1;
+      island_flip(x, to_faulty);
+    }
+  }
+  const int wasted = wasted_nodes();
+  alloc_.faulty_gpus = (n_ - healthy_count_) * gpus_per_node_;
+  alloc_.usable_gpus = (healthy_count_ - wasted) * gpus_per_node_;
+  alloc_.wasted_healthy_gpus = wasted * gpus_per_node_;
+  return alloc_;
+}
+
+IslandModuloAllocator::IslandModuloAllocator(const HbdArchitecture& arch,
+                                             IslandPartition islands,
+                                             int tp_size_gpus)
+    : PerIslandAllocatorBase(arch, tp_size_gpus), islands_(islands) {
+  IHBD_EXPECTS(islands_.node_count == arch.node_count());
+  // Modulo islands partition the cluster exactly; a trailing remainder
+  // would need SiP-Ring-style special casing.
+  IHBD_EXPECTS(islands_.node_count % islands_.nodes_per_island == 0);
+}
+
+void IslandModuloAllocator::reset_islands() {
+  island_healthy_.assign(
+      static_cast<std::size_t>(islands_.full_island_count()),
+      islands_.nodes_per_island);
+  wasted_nodes_ =
+      islands_.full_island_count() * (islands_.nodes_per_island % m_);
+}
+
+void IslandModuloAllocator::island_flip(int node, bool to_faulty) {
+  int& healthy = island_healthy_[static_cast<std::size_t>(
+      islands_.island_of(node))];
+  wasted_nodes_ -= healthy % m_;
+  healthy += to_faulty ? -1 : 1;
+  wasted_nodes_ += healthy % m_;
+}
+
+TpuCubePoolAllocator::TpuCubePoolAllocator(const TpuV4& tpu, int tp_size_gpus)
+    : PerIslandAllocatorBase(tpu, tp_size_gpus),
+      cubes_(tpu.island_partition()) {
+  IHBD_EXPECTS(tp_size_gpus > tpu.cube_gpus());
+}
+
+void TpuCubePoolAllocator::reset_islands() {
+  cube_faulty_.assign(static_cast<std::size_t>(cubes_.full_island_count()),
+                      0);
+  clean_cubes_ = cubes_.full_island_count();
+}
+
+void TpuCubePoolAllocator::island_flip(int node, bool to_faulty) {
+  int& faults = cube_faulty_[static_cast<std::size_t>(cubes_.island_of(node))];
+  if (to_faulty) {
+    if (faults++ == 0) --clean_cubes_;
+  } else {
+    if (--faults == 0) ++clean_cubes_;
+  }
+}
+
+int TpuCubePoolAllocator::wasted_nodes() const {
+  const int pool = clean_cubes_ * cubes_.nodes_per_island;
+  return (healthy_count() - pool) + pool % m_;
+}
+
+SipRingIncrementalAllocator::SipRingIncrementalAllocator(const SipRing& sip,
+                                                         int tp_size_gpus)
+    : PerIslandAllocatorBase(sip, tp_size_gpus),
+      rings_(sip.ring_partition(m_)) {}
+
+void SipRingIncrementalAllocator::reset_islands() {
+  ring_faulty_.assign(static_cast<std::size_t>(rings_.full_island_count()),
+                      0);
+  broken_waste_nodes_ = 0;
+  trailing_healthy_ =
+      node_count() - rings_.full_island_count() * rings_.nodes_per_island;
+}
+
+void SipRingIncrementalAllocator::island_flip(int node, bool to_faulty) {
+  const int ring = rings_.island_of(node);
+  if (ring >= rings_.full_island_count()) {
+    trailing_healthy_ += to_faulty ? -1 : 1;
+    return;
+  }
+  int& faults = ring_faulty_[static_cast<std::size_t>(ring)];
+  // A broken ring wastes its m - faults healthy members; an intact ring
+  // wastes none.
+  broken_waste_nodes_ -= faults > 0 ? m_ - faults : 0;
+  faults += to_faulty ? 1 : -1;
+  broken_waste_nodes_ += faults > 0 ? m_ - faults : 0;
+}
+
 std::unique_ptr<IncrementalAllocator> make_incremental_allocator(
     const HbdArchitecture& arch, int tp_size_gpus) {
   if (const auto* ring = dynamic_cast<const KHopRing*>(&arch))
     return std::make_unique<KHopRingIncrementalAllocator>(*ring, tp_size_gpus);
+  if (const auto* bs = dynamic_cast<const BigSwitch*>(&arch))
+    return std::make_unique<IslandModuloAllocator>(
+        *bs, bs->island_partition(), tp_size_gpus);
+  if (const auto* nvl = dynamic_cast<const NvlSwitch*>(&arch))
+    return std::make_unique<IslandModuloAllocator>(
+        *nvl, nvl->island_partition(), tp_size_gpus);
+  if (const auto* tpu = dynamic_cast<const TpuV4*>(&arch)) {
+    if (tp_size_gpus > tpu->cube_gpus())
+      return std::make_unique<TpuCubePoolAllocator>(*tpu, tp_size_gpus);
+    return std::make_unique<IslandModuloAllocator>(
+        *tpu, tpu->island_partition(), tp_size_gpus);
+  }
+  if (const auto* sip = dynamic_cast<const SipRing*>(&arch))
+    return std::make_unique<SipRingIncrementalAllocator>(*sip, tp_size_gpus);
   return std::make_unique<MemoizingAllocator>(arch, tp_size_gpus);
 }
 

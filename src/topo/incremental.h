@@ -16,17 +16,28 @@
 //     tree over healthy nodes plus the set of non-bypassable cut links)
 //     under single-node flips in O(log N) per flip, never rebuilding the
 //     full N-node arc walk.
+//   * Per-island allocators for the baseline architectures (§6.1): every
+//     baseline decomposes into independent islands (the one Big-Switch
+//     domain, NVL HBDs, TPUv4 cubes, SiP-Ring's static TP-sized rings), so
+//     a node flip only disturbs its own island's aggregate — O(1) per flip
+//     instead of the memoizing fallback's full O(N) allocate() on every
+//     sample with a transition. This mirrors how OCS-partitioned domains
+//     bound reconfiguration work to the affected partition (Mission
+//     Apollo). See IslandModuloAllocator, TpuCubePoolAllocator,
+//     SipRingIncrementalAllocator.
 //
-// Both produce aggregate fields (total/faulty/usable/wasted GPUs, and thus
-// waste_ratio()) bit-identical to arch.allocate(mask, tp) on the same mask.
-// The K-Hop implementation does not materialize Allocation::groups (the
-// replay metrics never read them); MemoizingAllocator returns whatever the
-// wrapped allocate() produced, groups included.
+// All implementations produce aggregate fields (total/faulty/usable/wasted
+// GPUs, and thus waste_ratio()) bit-identical to arch.allocate(mask, tp) on
+// the same mask. The true incremental implementations do not materialize
+// Allocation::groups (the replay metrics never read them);
+// MemoizingAllocator returns whatever the wrapped allocate() produced,
+// groups included.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "src/topo/baselines.h"
 #include "src/topo/hbd.h"
 #include "src/topo/khop_ring.h"
 
@@ -116,8 +127,111 @@ class KHopRingIncrementalAllocator : public IncrementalAllocator {
   Allocation alloc_;
 };
 
-/// The right allocator for `arch`: the true incremental implementation for
-/// KHopRing, the memoizing fallback for everything else.
+/// Shared frame for the per-island baseline allocators: owns the faulty
+/// bitmap and healthy count, filters spurious flip entries, routes genuine
+/// single-node flips to the derived class's island aggregate, and fills the
+/// Allocation aggregates from the derived wasted-node total (usable +
+/// wasted = healthy holds for every baseline).
+class PerIslandAllocatorBase : public IncrementalAllocator {
+ public:
+  const Allocation& apply(const std::vector<bool>& mask,
+                          const std::vector<int>& flipped) final;
+
+ protected:
+  /// `arch` must outlive the allocator; `tp_size_gpus` must be a positive
+  /// multiple of arch.gpus_per_node() (same contract as allocate()).
+  PerIslandAllocatorBase(const HbdArchitecture& arch, int tp_size_gpus);
+
+  int healthy_count() const { return healthy_count_; }
+  int node_count() const { return n_; }
+
+  int m_;  ///< nodes per TP group
+
+ private:
+  /// Reset per-island state to the all-healthy cluster.
+  virtual void reset_islands() = 0;
+  /// Update the flipped node's island aggregate (the node's bit and the
+  /// healthy count have already been updated in the base).
+  virtual void island_flip(int node, bool to_faulty) = 0;
+  /// Total healthy-but-unplaceable nodes over all islands.
+  virtual int wasted_nodes() const = 0;
+
+  int n_;
+  int gpus_per_node_;
+  bool initialized_ = false;
+  std::vector<char> faulty_;
+  int healthy_count_ = 0;
+  Allocation alloc_;
+};
+
+/// True incremental allocator for the modulo-fragmenting islands:
+/// Big-Switch (one global island), NVL-36/72/576 (independent HBD islands)
+/// and TPUv4 at TP <= cube (independent cubes). Each island wastes
+/// healthy_i % m nodes — which also covers TP groups larger than the island
+/// (healthy_i < m, so the residue is the whole island's healthy count, the
+/// "TP cannot span islands" rule) — so a flip updates one island's residue
+/// in O(1). Requires an exact partition (no trailing remainder).
+class IslandModuloAllocator : public PerIslandAllocatorBase {
+ public:
+  IslandModuloAllocator(const HbdArchitecture& arch, IslandPartition islands,
+                        int tp_size_gpus);
+
+ private:
+  void reset_islands() override;
+  void island_flip(int node, bool to_faulty) override;
+  int wasted_nodes() const override { return wasted_nodes_; }
+
+  IslandPartition islands_;
+  std::vector<int> island_healthy_;
+  int wasted_nodes_ = 0;
+};
+
+/// True incremental allocator for TPUv4's pooled regime (TP > cube): groups
+/// are tiled over the pool of fault-free cubes and every healthy node in a
+/// faulted cube is wasted, so only the per-cube fault counts and the clean
+/// cube count matter — O(1) per flip, O(1) waste readout.
+class TpuCubePoolAllocator : public PerIslandAllocatorBase {
+ public:
+  /// Requires tp_size_gpus > tpu.cube_gpus(); the per-cube fragmentation
+  /// regime is IslandModuloAllocator's job (make_incremental_allocator
+  /// picks the right one).
+  TpuCubePoolAllocator(const TpuV4& tpu, int tp_size_gpus);
+
+ private:
+  void reset_islands() override;
+  void island_flip(int node, bool to_faulty) override;
+  int wasted_nodes() const override;
+
+  IslandPartition cubes_;
+  std::vector<int> cube_faulty_;  ///< faulty-node count per cube
+  int clean_cubes_ = 0;
+};
+
+/// True incremental allocator for SiP-Ring: static rings of exactly m
+/// consecutive nodes, where one fault breaks the whole ring (every healthy
+/// member is wasted) and nodes past the last full ring are structural
+/// fragmentation. Tracks per-ring fault counts plus the trailing healthy
+/// count — O(1) per flip.
+class SipRingIncrementalAllocator : public PerIslandAllocatorBase {
+ public:
+  SipRingIncrementalAllocator(const SipRing& sip, int tp_size_gpus);
+
+ private:
+  void reset_islands() override;
+  void island_flip(int node, bool to_faulty) override;
+  int wasted_nodes() const override {
+    return broken_waste_nodes_ + trailing_healthy_;
+  }
+
+  IslandPartition rings_;
+  std::vector<int> ring_faulty_;  ///< faulty-node count per full ring
+  int broken_waste_nodes_ = 0;    ///< sum over broken rings of (m - faults)
+  int trailing_healthy_ = 0;
+};
+
+/// The right allocator for `arch`: the true incremental implementations for
+/// KHopRing and every §6.1 baseline (Big-Switch, NVL, TPUv4 in either TP
+/// regime, SiP-Ring), the memoizing fallback for anything else.
 std::unique_ptr<IncrementalAllocator> make_incremental_allocator(
     const HbdArchitecture& arch, int tp_size_gpus);
 

@@ -63,6 +63,9 @@ TraceWindowFragment replay_trace_window_incremental(
   frag.usable_gpus.t.reserve(window.count);
   frag.usable_gpus.v.reserve(window.count);
   fault::FaultMaskCursor cursor(trace);
+  // Every §6.1 architecture now gets a true incremental allocator (KHopRing
+  // arcs, per-island aggregates for the baselines); only out-of-tree
+  // architectures take the memoizing O(N)-per-transition fallback.
   const auto allocator = make_incremental_allocator(arch, tp_size_gpus);
   for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
     const double day = days[i];

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/common/csv.h"
@@ -187,6 +188,35 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(h.count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, NanIsCountedSeparatelyNotBinned) {
+  // Regression: NaN fell through both range guards into the bin cast (UB).
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) EXPECT_EQ(h.count(b), 0u);
+  h.add(5.0);
+  h.add(-std::nan(""));
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(Histogram, UpperEdgeClampsIntoLastBin) {
+  // Bins are half-open [lo, hi), but x == hi is documented to clamp into
+  // the last bin rather than being dropped.
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  // Infinities follow the same clamping as any out-of-range value.
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(Histogram, ToStringContainsBars) {

@@ -198,6 +198,165 @@ TEST(KHopRingIncremental, ExtremeMasksMatchAllocate) {
   }
 }
 
+// --- per-island baseline allocators vs allocate() -------------------------
+
+/// The island-decomposable baselines on a 144 x 4 cluster (the smallest
+/// every §6.1 baseline accepts, incl. NVL-576), with direct constructors
+/// for the concrete allocator classes so the test exercises each
+/// implementation rather than whatever the dispatch picks.
+struct BaselineCase {
+  std::unique_ptr<HbdArchitecture> arch;
+  std::unique_ptr<IncrementalAllocator> allocator;
+  int tp = 0;
+};
+
+std::vector<BaselineCase> baseline_cases(int nodes, int gpus, int tp) {
+  std::vector<BaselineCase> cases;
+  const auto add = [&](std::unique_ptr<HbdArchitecture> arch,
+                       std::unique_ptr<IncrementalAllocator> alloc) {
+    cases.push_back({std::move(arch), std::move(alloc), tp});
+  };
+  {
+    auto bs = std::make_unique<BigSwitch>(nodes, gpus);
+    auto alloc = std::make_unique<IslandModuloAllocator>(
+        *bs, bs->island_partition(), tp);
+    add(std::move(bs), std::move(alloc));
+  }
+  for (const int hbd : {36, 72, 576}) {
+    auto nvl = std::make_unique<NvlSwitch>(nodes, gpus, hbd);
+    auto alloc = std::make_unique<IslandModuloAllocator>(
+        *nvl, nvl->island_partition(), tp);
+    add(std::move(nvl), std::move(alloc));
+  }
+  {
+    auto tpu = std::make_unique<TpuV4>(nodes, gpus);
+    auto alloc =
+        tp > tpu->cube_gpus()
+            ? std::unique_ptr<IncrementalAllocator>(
+                  std::make_unique<TpuCubePoolAllocator>(*tpu, tp))
+            : std::make_unique<IslandModuloAllocator>(
+                  *tpu, tpu->island_partition(), tp);
+    add(std::move(tpu), std::move(alloc));
+  }
+  {
+    auto sip = std::make_unique<SipRing>(nodes, gpus);
+    auto alloc = std::make_unique<SipRingIncrementalAllocator>(*sip, tp);
+    add(std::move(sip), std::move(alloc));
+  }
+  return cases;
+}
+
+TEST(BaselineIncremental, RandomFlipSequencesMatchAllocate) {
+  Rng rng(4321);
+  const int n = 144, g = 4;
+  // TP sweep covers every regime: in-island fragmentation (8, 64),
+  // TPUv4's pooled clean-cube regime and NVL-36/72 whole-island waste
+  // (128), and m larger than the whole cluster (640).
+  for (const int tp : {8, 64, 128, 640}) {
+    for (auto& c : baseline_cases(n, g, tp)) {
+      std::vector<bool> mask(static_cast<std::size_t>(n), false);
+      for (auto&& bit : mask) bit = rng.bernoulli(0.15);
+      std::vector<int> flipped;
+      c.allocator->apply(mask, flipped);
+      for (int step = 0; step < 400; ++step) {
+        flipped.clear();
+        const int batch = 1 + static_cast<int>(rng.uniform_index(3));
+        for (int b = 0; b < batch; ++b) {
+          const int x = static_cast<int>(rng.uniform_index(n));
+          mask[static_cast<std::size_t>(x)] =
+              !mask[static_cast<std::size_t>(x)];
+          flipped.push_back(x);
+        }
+        // Double flips of one node stay in the list: the allocator must
+        // tolerate spurious (net-zero) entries.
+        const auto& got = c.allocator->apply(mask, flipped);
+        const auto want = c.arch->allocate(mask, tp);
+        expect_same_aggregates(got, want,
+                               c.arch->name() + " tp=" + std::to_string(tp) +
+                                   " step " + std::to_string(step));
+      }
+    }
+  }
+}
+
+TEST(BaselineIncremental, DegenerateMasksMatchAllocate) {
+  const int n = 144, g = 4;
+  for (const int tp : {32, 128}) {
+    for (auto& c : baseline_cases(n, g, tp)) {
+      std::vector<bool> mask(static_cast<std::size_t>(n), false);
+      std::vector<int> flipped;
+      // All healthy, then take one island (the first 18 nodes — one NVL-72
+      // island, more than one TPUv4 cube span) fully down node by node,
+      // then the whole cluster down, then everything back up.
+      expect_same_aggregates(c.allocator->apply(mask, flipped),
+                             c.arch->allocate(mask, tp),
+                             c.arch->name() + " all-healthy");
+      for (int x = 0; x < n; ++x) {
+        mask[static_cast<std::size_t>(x)] = true;
+        expect_same_aggregates(
+            c.allocator->apply(mask, {x}), c.arch->allocate(mask, tp),
+            c.arch->name() + " tp=" + std::to_string(tp) + " down x=" +
+                std::to_string(x));
+      }
+      for (int x = n - 1; x >= 0; --x) {
+        mask[static_cast<std::size_t>(x)] = false;
+        expect_same_aggregates(
+            c.allocator->apply(mask, {x}), c.arch->allocate(mask, tp),
+            c.arch->name() + " tp=" + std::to_string(tp) + " up x=" +
+                std::to_string(x));
+      }
+    }
+  }
+}
+
+TEST(BaselineIncremental, InitializesFromDegenerateFirstMask) {
+  // First apply() seeds wholesale from the mask: start from all-faulty and
+  // from one-island-down instead of from all-healthy.
+  const int n = 144, g = 4, tp = 32;
+  for (const bool all_faulty : {true, false}) {
+    for (auto& c : baseline_cases(n, g, tp)) {
+      std::vector<bool> mask(static_cast<std::size_t>(n), all_faulty);
+      if (!all_faulty)  // exactly one NVL-36 island (9 nodes) fully down
+        for (int x = 0; x < 9; ++x) mask[static_cast<std::size_t>(x)] = true;
+      expect_same_aggregates(
+          c.allocator->apply(mask, {}), c.arch->allocate(mask, tp),
+          c.arch->name() + (all_faulty ? " all-faulty" : " island-down"));
+      // One repair out of the degenerate state.
+      mask[0] = false;
+      expect_same_aggregates(c.allocator->apply(mask, {0}),
+                             c.arch->allocate(mask, tp),
+                             c.arch->name() + " first repair");
+    }
+  }
+}
+
+TEST(BaselineIncremental, DispatchCoversEveryPaperArchitecture) {
+  // make_incremental_allocator must hand every §6.1 architecture a true
+  // incremental allocator whose aggregates match allocate() — including
+  // TPUv4 on both sides of the cube-size regime boundary.
+  const int nodes = 144;
+  Rng rng(77);
+  auto archs = make_paper_architectures(nodes, 4);
+  for (const auto& arch : archs) {
+    for (const int tp : {8, 64, 128}) {
+      const auto allocator = make_incremental_allocator(*arch, tp);
+      std::vector<bool> mask(static_cast<std::size_t>(nodes), false);
+      for (auto&& bit : mask) bit = rng.bernoulli(0.1);
+      expect_same_aggregates(allocator->apply(mask, {}),
+                             arch->allocate(mask, tp),
+                             arch->name() + " tp=" + std::to_string(tp));
+      for (int step = 0; step < 32; ++step) {
+        const int x = static_cast<int>(rng.uniform_index(nodes));
+        mask[static_cast<std::size_t>(x)] = !mask[static_cast<std::size_t>(x)];
+        expect_same_aggregates(
+            allocator->apply(mask, {x}), arch->allocate(mask, tp),
+            arch->name() + " tp=" + std::to_string(tp) + " step " +
+                std::to_string(step));
+      }
+    }
+  }
+}
+
 // --- end-to-end: incremental replay vs serial oracle ----------------------
 
 TEST(IncrementalReplay, BitIdenticalToSerialOracleAcrossArchitectures) {
@@ -209,7 +368,9 @@ TEST(IncrementalReplay, BitIdenticalToSerialOracleAcrossArchitectures) {
     auto archs = make_paper_architectures(nodes, 4);
     archs.push_back(std::make_unique<KHopRing>(nodes, 4, 2, /*ring=*/false));
     for (const auto& arch : archs) {
-      for (const int tp : {8, 32, 64}) {
+      // 128 exercises TPUv4's pooled regime and NVL-36/72 whole-island
+      // waste through the full replay stack, not just the allocator units.
+      for (const int tp : {8, 32, 64, 128}) {
         const auto serial = evaluate_waste_over_trace(*arch, trace, tp, 1.0);
         for (const std::size_t window : {1ul, 16ul, 0ul}) {
           TraceReplayOptions opts;

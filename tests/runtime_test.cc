@@ -212,6 +212,42 @@ TEST(Accumulator, MergeMixedSampleRetentionDegradesToMoments) {
   EXPECT_TRUE(empty_no_samples.samples().empty());
 }
 
+TEST(Accumulator, DisablingRetentionDiscardsSamples) {
+  // Complete-or-empty invariant: freezing a sample array short of count()
+  // would feed summary() percentiles over a partial subset.
+  Accumulator acc;
+  for (int i = 0; i < 4; ++i) acc.add(i);
+  EXPECT_FALSE(acc.set_keep_samples(false));
+  EXPECT_TRUE(acc.samples().empty());
+  acc.add(100.0);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_TRUE(acc.samples().empty());
+  EXPECT_DOUBLE_EQ(acc.summary().p50, acc.mean());
+}
+
+TEST(Accumulator, ReenablingRetentionAfterDropsIsRefused) {
+  Accumulator acc;
+  acc.set_keep_samples(false);
+  acc.add(1.0);
+  // The first value was already dropped; a late opt-in cannot complete the
+  // set, so retention stays off instead of recording a partial tail.
+  EXPECT_FALSE(acc.set_keep_samples(true));
+  acc.add(2.0);
+  EXPECT_TRUE(acc.samples().empty());
+  EXPECT_EQ(acc.count(), 2u);
+
+  // ...but toggling on an accumulator that never dropped anything is fine.
+  Accumulator fresh;
+  fresh.set_keep_samples(false);
+  EXPECT_TRUE(fresh.set_keep_samples(true));
+  fresh.add(3.0);
+  Accumulator complete;
+  complete.add(4.0);
+  EXPECT_TRUE(complete.set_keep_samples(true));
+  complete.add(5.0);
+  EXPECT_EQ(complete.samples().size(), 2u);
+}
+
 TEST(Accumulator, MergeWithEmpty) {
   Accumulator a, empty;
   a.add(2.0);

@@ -215,6 +215,52 @@ TEST(WasteBound, MatchesPaperTable7) {
 
 // ------------------------------------------------------------ baselines ---
 
+TEST(NvlSwitch, ValidatesConfig) {
+  // Regression: node_count <= 0 used to pass — 0 * gpus % hbd_gpus == 0
+  // satisfied the only divisibility check — and gpus_per_node == 0 divided
+  // by zero inside it.
+  EXPECT_THROW(NvlSwitch(0, 4, 72), ConfigError);
+  EXPECT_THROW(NvlSwitch(-18, 4, 72), ConfigError);
+  EXPECT_THROW(NvlSwitch(18, 0, 72), ConfigError);
+  EXPECT_THROW(NvlSwitch(18, -4, 72), ConfigError);
+  EXPECT_THROW(NvlSwitch(18, 4, 0), ConfigError);
+  EXPECT_THROW(NvlSwitch(18, 4, 30), ConfigError);   // not a node multiple
+  EXPECT_THROW(NvlSwitch(20, 4, 72), ConfigError);   // cluster not divisible
+  EXPECT_NO_THROW(NvlSwitch(18, 4, 72));
+}
+
+TEST(TpuV4, ValidatesConfig) {
+  // Same regression as NvlSwitch, with the cube divisibility checks.
+  EXPECT_THROW(TpuV4(0, 4), ConfigError);
+  EXPECT_THROW(TpuV4(-16, 4), ConfigError);
+  EXPECT_THROW(TpuV4(16, 0), ConfigError);
+  EXPECT_THROW(TpuV4(16, -4), ConfigError);
+  EXPECT_THROW(TpuV4(16, 4, 0), ConfigError);
+  EXPECT_THROW(TpuV4(16, 4, 30), ConfigError);       // not a node multiple
+  EXPECT_THROW(TpuV4(17, 4, 64), ConfigError);       // cluster not divisible
+  EXPECT_NO_THROW(TpuV4(16, 4));
+}
+
+TEST(IslandPartition, GeometryAccessors) {
+  const NvlSwitch nvl72(36, 4, 72);
+  const IslandPartition islands = nvl72.island_partition();
+  EXPECT_EQ(islands.nodes_per_island, 18);
+  EXPECT_EQ(islands.full_island_count(), 2);
+  EXPECT_EQ(islands.island_of(17), 0);
+  EXPECT_EQ(islands.island_of(18), 1);
+  EXPECT_EQ(islands.island_begin(1), 18);
+  EXPECT_EQ(islands.island_end(1), 36);
+
+  EXPECT_EQ(BigSwitch(720, 4).island_partition().full_island_count(), 1);
+  EXPECT_EQ(TpuV4(48, 4).island_partition().nodes_per_island, 16);
+
+  // SiP-Ring's TP-sized rings leave a trailing remainder.
+  const IslandPartition rings = SipRing(22, 4).ring_partition(8);
+  EXPECT_EQ(rings.full_island_count(), 2);
+  EXPECT_EQ(rings.island_of(21), 2);  // trailing node
+  EXPECT_EQ(rings.island_end(2), 22);
+}
+
 TEST(BigSwitch, PureGlobalFragmentation) {
   BigSwitch ideal(720, 4);
   const auto alloc = ideal.allocate(mask_of(720, {1, 2, 3}), 32);
