@@ -4,7 +4,8 @@
 //
 // Runs on the generic sweep engine: each (TP, arch) cell replays the trace
 // in windows and carries the usable-GPUs series the job-scale quantile is
-// derived from; bit-identical for any --threads value.
+// derived from. Cells and their windows share one work-stealing pool
+// (nested parallel_for); bit-identical for any --threads value.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
 

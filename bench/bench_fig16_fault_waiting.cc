@@ -3,8 +3,10 @@
 // usable GPUs fall below its requirement, over the production trace.
 //
 // The expensive part — replaying the 348-day trace per (TP, architecture)
-// pair — fans out across the runtime thread pool; results are assembled in
-// deterministic pair order, so output is identical for any --threads value.
+// pair — fans out across one work-stealing pool at BOTH levels: pairs are
+// mapped in parallel and each pair's windowed replay recruits idle workers
+// (nested parallel_for). Results are assembled in deterministic pair order,
+// so output is identical for any --threads value.
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
 #include "src/runtime/thread_pool.h"
@@ -29,18 +31,22 @@ int main(int argc, char** argv) {
     for (const auto& arch : archs)
       if (bench::arch_supports_tp(*arch, tp)) grid.push_back({tp, arch.get()});
 
+  const runtime::PoolRef pool(opt.threads);
+  const std::size_t window_samples =
+      bench::nested_window_samples(grid.size(), *pool);
   const auto usable = runtime::parallel_map(
       grid,
       [&](const Cell& cell) {
         topo::TraceReplayOptions ropts;
-        ropts.threads = 1;  // parallel_map already owns the cores
+        ropts.pool = pool.get();  // nested fan-out on the same pool
+        ropts.window_samples = window_samples;
         ropts.keep_samples = false;  // only the usable series is read
         ropts.incremental = opt.incremental;
         return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp,
                                                ropts)
             .usable_gpus;
       },
-      opt.threads);
+      *pool);
 
   std::size_t next = 0;
   for (int tp : tps) {

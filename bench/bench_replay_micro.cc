@@ -6,6 +6,7 @@
 // they replaced). Reports replayed samples per second per tier; CI runs it
 // to track the speedups. Built directly on the vendored bench/microbench.h
 // harness so it needs no Google Benchmark.
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdlib>
@@ -172,6 +173,73 @@ static void BM_baseline_island(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_baseline_island)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// --- nested sweep × replay: one work-stealing pool for both levels --------
+//
+// The shape that motivated the scheduler (ISSUE 5): a LOW-CELL-COUNT sweep
+// of LONG replays. Four (TP, step) cells of the from-scratch windowed
+// replay with uneven cost — two daily cells and two quarter-day cells, i.e.
+// 1+1+4+4 units of work — on a >= 8-worker pool. Outer-only fan-out (the
+// pre-scheduler behavior: cells parallel, each replay pinned to 1 thread)
+// is wall-clock-bounded by the heaviest cell replaying alone (~4 units);
+// the nested tier fans every cell's windows on the SAME pool, so the bound
+// drops to total-work / workers (10/8 units on 8 workers, ~3.2x ideal).
+// Speedups require real cores: with fewer cores than cells both tiers
+// saturate the machine and report the same throughput.
+
+namespace {
+
+constexpr int kNestedWorkers = 8;
+
+topo::TraceWasteResult nested_cell_replay(const runtime::Scenario& s,
+                                          runtime::ThreadPool* inner_pool) {
+  topo::TraceReplayOptions opts;
+  opts.step_days = s.value(0);
+  opts.incremental = false;  // from-scratch windowed: the expensive tier
+  opts.keep_samples = false;
+  if (inner_pool != nullptr)
+    opts.pool = inner_pool;  // nested: windows steal idle sweep workers
+  else
+    opts.threads = 1;  // outer-only: the pre-scheduler workaround
+  return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(),
+                                         static_cast<int>(s.value(1)), opts);
+}
+
+void run_nested_sweep_bench(benchmark::State& state, bool nested) {
+  static runtime::ThreadPool pool(
+      std::max(kNestedWorkers, runtime::ThreadPool::default_threads()));
+  runtime::SweepSpec spec;
+  spec.trials = 1;
+  spec.axes = {runtime::Axis::of_values("step", {1.0, 0.25}),
+               runtime::Axis::of_values("TP", {8, 32})};
+  run_samples_bench(state, [&] {
+    const auto grid = runtime::run_sweep_reduce(
+        spec, topo::TraceWasteResult{},
+        [&](const runtime::Scenario& s, Rng&) {
+          return nested_cell_replay(s, nested ? &pool : nullptr);
+        },
+        [](topo::TraceWasteResult& acc, topo::TraceWasteResult&& replay) {
+          acc = std::move(replay);
+        },
+        /*threads=*/0, &pool);
+    std::size_t samples = 0;
+    for (const auto& cell : grid.cells) samples += cell.waste_ratio.size();
+    benchmark::DoNotOptimize(samples);
+    return samples;
+  });
+}
+
+}  // namespace
+
+static void BM_nested_sweep_outer_only(benchmark::State& state) {
+  run_nested_sweep_bench(state, false);
+}
+BENCHMARK(BM_nested_sweep_outer_only);
+
+static void BM_nested_sweep_shared_pool(benchmark::State& state) {
+  run_nested_sweep_bench(state, true);
+}
+BENCHMARK(BM_nested_sweep_shared_pool);
 
 // Quarter-day sampling: the event-driven tier's home turf — the transition
 // count is fixed by the trace, so 4x the samples cost the serial tiers 4x

@@ -81,7 +81,8 @@ std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell) {
 
 }  // namespace detail
 
-SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads) {
+SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads,
+                      ThreadPool* pool) {
   Accumulator init;
   init.set_keep_samples(spec.keep_samples);
   return run_sweep_reduce(
@@ -89,7 +90,7 @@ SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads) {
       [](Accumulator& acc, double sample) {
         if (!std::isnan(sample)) acc.add(sample);
       },
-      threads);
+      threads, pool);
 }
 
 }  // namespace ihbd::runtime

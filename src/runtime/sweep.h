@@ -141,23 +141,31 @@ void validate_spec(const SweepSpec& spec);
 std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell);
 }  // namespace detail
 
-/// Generic reduce engine: run every (cell, trial) on `threads` workers
-/// (0 = hardware concurrency) and fold each trial's result into that cell's
-/// accumulator, strictly in trial order within a cell. `init` seeds every
-/// cell (copied). `fold` is invoked as fold(acc, result) or, if it accepts
-/// a third parameter, fold(acc, result, scenario). Cells are distributed
-/// dynamically; because every trial draws from its own substream and folds
-/// in trial order, results are bit-identical for any thread count.
+/// Generic reduce engine: run every (cell, trial) on a thread pool and fold
+/// each trial's result into that cell's accumulator, strictly in trial
+/// order within a cell. `init` seeds every cell (copied). `fold` is invoked
+/// as fold(acc, result) or, if it accepts a third parameter,
+/// fold(acc, result, scenario). Cells are distributed dynamically; because
+/// every trial draws from its own substream and folds in trial order,
+/// results are bit-identical for any thread count.
+///
+/// Execution substrate: an explicit `pool` wins (pass the SAME pool into
+/// any nested fan-out inside the trial — e.g. TraceReplayOptions::pool — so
+/// the work-stealing scheduler lets a cell's inner parallelism recruit idle
+/// sweep workers). With pool == nullptr, threads == 0 fans out on the
+/// process-wide ThreadPool::shared(); threads > 0 uses a dedicated
+/// transient pool of that width.
 template <typename Acc, typename Trial, typename Fold>
 GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
                                          Trial&& trial, Fold&& fold,
-                                         int threads = 0) {
+                                         int threads = 0,
+                                         ThreadPool* pool = nullptr) {
   detail::validate_spec(spec);
   GenericSweepResult<Acc> result;
   result.spec = spec;
   result.cells.assign(spec.cell_count(), std::move(init));
-  ThreadPool pool(threads);
-  pool.parallel_for(result.cells.size(), [&](std::size_t cell) {
+  const PoolRef pool_ref(threads, pool);
+  pool_ref->parallel_for(result.cells.size(), [&](std::size_t cell) {
     const std::vector<std::size_t> idx = detail::decode_cell(spec, cell);
     Acc& acc = result.cells[cell];
     for (int t = 0; t < spec.trials; ++t) {
@@ -177,8 +185,9 @@ GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
 
 /// Scalar sweep: a thin adapter over run_sweep_reduce with an Accumulator
 /// per cell (NaN results leave the cell untouched). Bit-identical to the
-/// pre-generic engine for any thread count.
+/// pre-generic engine for any thread count; same pool/threads resolution as
+/// run_sweep_reduce.
 SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn,
-                      int threads = 0);
+                      int threads = 0, ThreadPool* pool = nullptr);
 
 }  // namespace ihbd::runtime

@@ -1,144 +1,278 @@
 #include "src/runtime/thread_pool.h"
 
-#include <atomic>
-#include <memory>
+#include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "src/common/contracts.h"
 
 namespace ihbd::runtime {
 
 namespace {
-// The pool whose worker_loop is running on this thread, if any. Lets
-// parallel_for detect re-entry from one of its own workers and degrade to
-// inline execution instead of deadlocking on helpers that can never run.
-thread_local const ThreadPool* current_pool = nullptr;
+// The pool whose worker_loop runs on this thread (if any) and the index of
+// that worker within it. Lets enqueue target the calling worker's own deque
+// (LIFO locality) and lets pop_task skip the useless self-steal.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
 }  // namespace
+
+struct ThreadPool::Worker {
+  std::mutex mu;
+  std::deque<Task> tasks;  ///< back = owner's LIFO end, front = steal end
+  /// Round-robin steal cursor; touched only by the owning thread.
+  std::size_t next_victim = 0;
+  std::thread thread;
+};
+
+// --- TaskGroup --------------------------------------------------------------
+
+TaskGroup::~TaskGroup() {
+  // Join without observing exceptions (wait() must be called for that);
+  // never let a still-running task outlive the state it captured.
+  pool_->help_until([this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  pool_->enqueue(ThreadPool::Task{std::move(task), this});
+}
+
+void TaskGroup::capture(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!error_) error_ = std::move(error);
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+void TaskGroup::wait() {
+  pool_->help_until([this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error = std::exchange(error_, nullptr);
+    failed_.store(false, std::memory_order_relaxed);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// --- ThreadPool -------------------------------------------------------------
 
 int ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool& ThreadPool::shared() {
+  // Meyers singleton: created on first use, joined at normal process exit.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) : root_(*this) {
   IHBD_EXPECTS(threads >= 0);
   if (threads == 0) threads = default_threads();
   workers_.reserve(static_cast<std::size_t>(threads));
+  // Materialize every Worker before any thread starts: workers steal by
+  // scanning workers_, which must never resize under them.
   for (int i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.push_back(std::make_unique<Worker>());
+  for (int i = 0; i < threads; ++i) {
+    const auto self = static_cast<std::size_t>(i);
+    workers_[self]->thread = std::thread([this, self] { worker_loop(self); });
+  }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(wake_mu_);
     stop_ = true;
+    ++wake_epoch_;
   }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
 }
 
-void ThreadPool::worker_loop() {
-  current_pool = this;
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-    }
-    idle_cv_.notify_all();
+void ThreadPool::signal(bool assert_not_stopped) {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    if (assert_not_stopped) IHBD_EXPECTS(!stop_);
+    ++wake_epoch_;
   }
+  wake_cv_.notify_all();
+}
+
+void ThreadPool::enqueue(Task task) {
+  task.group->pending_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_pool == this) {
+    Worker& self = *workers_[tls_worker];
+    std::lock_guard<std::mutex> lock(self.mu);
+    self.tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    inject_.push_back(std::move(task));
+  }
+  // Forks from this pool's own tasks stay legal during the destructor's
+  // shutdown drain — the draining workers complete them (a drained task
+  // may run a nested parallel_for). Only a NON-worker thread enqueueing
+  // into a stopping pool is a lifetime bug in the caller.
+  signal(/*assert_not_stopped=*/tls_pool != this);
+}
+
+bool ThreadPool::pop_task(Task& out) {
+  const bool on_pool = tls_pool == this;
+  if (on_pool) {
+    Worker& self = *workers_[tls_worker];
+    std::lock_guard<std::mutex> lock(self.mu);
+    if (!self.tasks.empty()) {
+      out = std::move(self.tasks.back());
+      self.tasks.pop_back();
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_.empty()) {
+      out = std::move(inject_.front());
+      inject_.pop_front();
+      return true;
+    }
+  }
+  const std::size_t n = workers_.size();
+  const std::size_t start = on_pool ? workers_[tls_worker]->next_victim++ : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(start + k) % n];
+    if (on_pool && &victim == workers_[tls_worker].get()) continue;
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(Task&& task) {
+  TaskGroup* group = task.group;
+  try {
+    task.fn();
+  } catch (...) {
+    group->capture(std::current_exception());
+  }
+  // Destroy the callable BEFORE announcing completion: once pending_ hits
+  // zero a joiner may return and tear down whatever the callable captured.
+  task.fn = nullptr;
+  group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+  // `group` may be dead from here on; only pool-owned state below.
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  // false: completions during the shutdown drain are legal.
+  signal(/*assert_not_stopped=*/false);
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  if (!pop_task(task)) return false;
+  run_task(std::move(task));
+  return true;
+}
+
+void ThreadPool::help_until(const std::function<bool()>& done) {
+  while (!done()) {
+    if (try_run_one()) continue;
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      epoch = wake_epoch_;
+    }
+    // Re-check after the snapshot: anything made visible before it is found
+    // here; anything after it moves the epoch and cancels the sleep.
+    if (done()) return;
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] { return wake_epoch_ != epoch || done(); });
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    if (try_run_one()) continue;
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      if (stop_) break;
+      epoch = wake_epoch_;
+    }
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] { return stop_ || wake_epoch_ != epoch; });
+    if (stop_) break;
+  }
+  // Shutdown drain: serve whatever is still queued so no enqueued task is
+  // ever silently dropped (same contract as the old shared-queue pool).
+  while (try_run_one()) {
+  }
+  tls_pool = nullptr;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    IHBD_EXPECTS(!stop_);
-    queue_.push_back(std::move(task));
-  }
-  cv_.notify_one();
+  root_.run(std::move(task));
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  help_until([this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(root_.error_mu_);
+    error = std::exchange(root_.error_, nullptr);
+    root_.failed_.store(false, std::memory_order_relaxed);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
-  IHBD_EXPECTS(grain >= 1);
   if (n == 0) return;
+  if (grain == 0)
+    grain = std::max<std::size_t>(1, n / (workers_.size() * 8));
 
-  // Re-entrant call from one of this pool's own workers: helpers would sit
-  // behind the caller in the queue while the caller blocks on them, so run
-  // the whole range inline on this thread instead.
-  if (current_pool == this) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-
-  // Shared fan-out state: a dynamic index cursor plus first-error capture.
-  struct Shared {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    std::size_t live_tasks = 0;
-  };
-  auto shared = std::make_shared<Shared>();
-
-  auto run_chunks = [shared, n, grain, &body] {
+  // Shared fan-out state lives on this frame: every chunk runner is joined
+  // before the function returns (at the latest by ~TaskGroup's drain, which
+  // is why `next` is declared BEFORE `group` — queued runners may still
+  // execute during that drain and must find the cursor alive), so no heap
+  // indirection is needed.
+  std::atomic<std::size_t> next{0};
+  TaskGroup group(*this);
+  const auto run_chunks = [&group, &next, n, grain, &body] {
     for (;;) {
-      if (shared->failed.load(std::memory_order_relaxed)) return;
+      if (group.failed()) return;  // cancel remaining chunks on first error
       const std::size_t begin =
-          shared->next.fetch_add(grain, std::memory_order_relaxed);
+          next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + grain);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          body(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(shared->error_mu);
-          if (!shared->error) shared->error = std::current_exception();
-          shared->failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
+      for (std::size_t i = begin; i < end; ++i) body(i);
     }
   };
 
-  const std::size_t helpers =
-      std::min<std::size_t>(workers_.size(), (n + grain - 1) / grain);
-  shared->live_tasks = helpers;
-  for (std::size_t t = 0; t < helpers; ++t) {
-    submit([shared, run_chunks] {
-      run_chunks();
-      {
-        std::lock_guard<std::mutex> lock(shared->done_mu);
-        --shared->live_tasks;
-      }
-      shared->done_cv.notify_one();
-    });
+  // One stealable chunk runner per worker that could usefully help; the
+  // caller participates as the +1'th. Runners that lose the race to an
+  // exhausted cursor return immediately.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), chunks);
+  for (std::size_t t = 0; t < helpers; ++t) group.run(run_chunks);
+  try {
+    run_chunks();
+  } catch (...) {
+    group.capture(std::current_exception());
   }
-
-  // The caller participates too: with a 1-thread pool this alone does all
-  // the work, and it guarantees forward progress even if the pool is busy
-  // with unrelated submitted tasks.
-  run_chunks();
-
-  std::unique_lock<std::mutex> lock(shared->done_mu);
-  shared->done_cv.wait(lock, [&shared] { return shared->live_tasks == 0; });
-  if (shared->error) std::rethrow_exception(shared->error);
+  group.wait();  // helps, then rethrows the first captured exception
 }
 
 }  // namespace ihbd::runtime

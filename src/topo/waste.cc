@@ -91,7 +91,9 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
   IHBD_EXPECTS(options.threads >= 0);
 
   const std::vector<double> days = trace.sample_days(options.step_days);
-  const int workers = options.threads == 0
+  runtime::ThreadPool* pool = options.pool;
+  const int workers = pool != nullptr ? pool->size()
+                      : options.threads == 0
                           ? runtime::ThreadPool::default_threads()
                           : options.threads;
   // A single worker gains nothing from window splits; one window lets the
@@ -119,12 +121,15 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
     }
   };
   if (workers == 1 || windows.size() <= 1) {
-    // No pool to spawn/join: the common case inside sweep cells, which
-    // already own the cores (bench::replay_trace_grid passes threads=1).
+    // Nothing to fan out: replay inline on the calling thread.
     for (std::size_t w = 0; w < windows.size(); ++w) replay_one(w);
   } else {
-    runtime::ThreadPool pool(workers);
-    pool.parallel_for(windows.size(), replay_one);
+    // PoolRef resolves to options.pool when given — the nested-parallel
+    // fast path: when the caller is itself a task on that pool (a sweep
+    // cell), the work-stealing scheduler hands these windows to idle
+    // workers and the blocked caller helps instead of sleeping.
+    const runtime::PoolRef ref(options.threads, pool);
+    ref->parallel_for(windows.size(), replay_one);
   }
 
   // Merge fragments strictly in window order: the concatenated series and

@@ -31,6 +31,10 @@
 #include "src/runtime/accumulate.h"
 #include "src/topo/hbd.h"
 
+namespace ihbd::runtime {
+class ThreadPool;
+}  // namespace ihbd::runtime
+
 namespace ihbd::topo {
 
 /// Result of replaying a fault trace against an architecture.
@@ -43,7 +47,16 @@ struct TraceWasteResult {
 /// Tuning knobs of the windowed parallel replay.
 struct TraceReplayOptions {
   double step_days = 1.0;
-  int threads = 0;  ///< replay workers; 0 = hardware concurrency
+  /// Replay fan-out width when no `pool` is given: 0 fans windows out on
+  /// the process-wide runtime::ThreadPool::shared(); 1 replays inline on
+  /// the calling thread; >1 uses a dedicated transient pool of that width.
+  int threads = 0;
+  /// Fan windows out on this pool instead (threads is then ignored, except
+  /// that a 1-worker pool still replays inline). Pass the pool that is
+  /// already running the enclosing sweep: the work-stealing scheduler lets
+  /// the window fan-out of one sweep cell recruit idle sweep workers
+  /// (nested parallelism) instead of serializing.
+  runtime::ThreadPool* pool = nullptr;
   /// Samples per parallel window (0 = one window spanning the trace).
   std::size_t window_samples = 64;
   /// Retain per-sample values inside the merged waste summary so its

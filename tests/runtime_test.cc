@@ -110,10 +110,10 @@ TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
   EXPECT_EQ(ran.load(), 50);
 }
 
-TEST(ThreadPool, ParallelForFromWorkerTaskRunsInline) {
+TEST(ThreadPool, ParallelForFromWorkerTaskCompletes) {
   // A parallel_for issued from a task already running on the pool must not
-  // wait on helpers queued behind itself (deadlock with 1 worker); it
-  // degrades to inline execution on that worker.
+  // deadlock even with 1 worker: the blocked joiner executes the nested
+  // chunks from its own deque itself (work-stealing helping join).
   ThreadPool pool(1);
   std::atomic<int> ran{0};
   pool.submit([&] { pool.parallel_for(10, [&](std::size_t) { ++ran; }); });

@@ -10,6 +10,8 @@
 
 #include "src/fault/generator.h"
 #include "src/fault/trace.h"
+#include "src/runtime/sweep.h"
+#include "src/runtime/thread_pool.h"
 #include "src/topo/khop_ring.h"
 #include "src/topo/waste.h"
 
@@ -117,6 +119,47 @@ TEST(WindowedReplay, BitIdenticalToSerialAcrossThreadsAndWindows) {
                      " incremental=" + std::to_string(incremental));
         expect_same_result(serial, windowed);
       }
+    }
+  }
+}
+
+TEST(WindowedReplay, NestedSweepInReplayBitIdenticalToSerialOracle) {
+  // The production shape of Figs. 13/15/16/20: a sweep over (TP) cells
+  // whose trials each fan their replay windows out on the SAME pool
+  // (TraceReplayOptions::pool). The work-stealing scheduler interleaves
+  // both levels arbitrarily; results must stay bit-identical to the serial
+  // oracle for any worker count.
+  const auto trace = small_trace();
+  const KHopRing ring(96, 4, 2);
+  const std::vector<double> tps{4, 8, 16};
+
+  std::vector<TraceWasteResult> oracle;
+  for (const double tp : tps)
+    oracle.push_back(
+        evaluate_waste_over_trace(ring, trace, static_cast<int>(tp), 1.0));
+
+  for (int workers : {1, 2, 8}) {
+    runtime::ThreadPool pool(workers);
+    runtime::SweepSpec spec;
+    spec.trials = 1;
+    spec.axes = {runtime::Axis::of_values("TP", tps)};
+    const auto grid = runtime::run_sweep_reduce(
+        spec, TraceWasteResult{},
+        [&](const runtime::Scenario& s, Rng&) {
+          TraceReplayOptions opts;
+          opts.pool = &pool;  // nested: windows steal idle sweep workers
+          opts.window_samples = 7;
+          return evaluate_waste_over_trace(ring, trace,
+                                           static_cast<int>(s.value(0)), opts);
+        },
+        [](TraceWasteResult& acc, TraceWasteResult&& replay) {
+          acc = std::move(replay);
+        },
+        /*threads=*/0, &pool);
+    for (std::size_t t = 0; t < tps.size(); ++t) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " tp=" + std::to_string(static_cast<int>(tps[t])));
+      expect_same_result(oracle[t], grid.cells[t]);
     }
   }
 }
