@@ -156,5 +156,6 @@ int main(int argc, char** argv) {
                                   .cross_tor_rate())});
     bench::emit(opt, "ablation_deployment", table);
   }
+  bench::finish(opt);
   return 0;
 }

@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
   coupling.add_row({"8-GPU", "8", "TP x EP <= 2048",
                     big.coupling_ok(8, 256) ? "TP8 x EP256 ok" : "ERR"});
   bench::emit(opt, "appg_coupling", coupling);
+  bench::finish(opt);
   return 0;
 }

@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
          Table::fmt(matrix.drive_power_w(OcsPath::kLoopback, temp), 3)});
   }
   bench::emit(opt, "fig10b_power", power);
+  bench::finish(opt);
   return 0;
 }

@@ -35,5 +35,6 @@ int main(int argc, char** argv) {
     std::printf("--- %g C ---\n%s", temp, hist.to_string(30).c_str());
   }
   bench::emit(opt, "fig11_loss_hist", table);
+  bench::finish(opt);
   return 0;
 }

@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(opt, "fig12_ber", table);
+  bench::finish(opt);
   return 0;
 }

@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
 
   std::puts("Paper anchors (TP-32): InfiniteHBD 0.53%, TPUv4 7.56%, "
             "NVL-72 10.04%.");
+  bench::finish(opt);
   return 0;
 }

@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
     bench::emit(opt, "fig14_waste_vs_fault_tp" + std::to_string(tp),
                 runtime::to_table(result, report));
   }
+  bench::finish(opt);
   return 0;
 }

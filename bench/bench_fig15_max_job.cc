@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
   }
   table.add_row({"Upper limit", "2880", "2880", "2880", "2880"});
   bench::emit(opt, "fig15_max_job", table);
+  bench::finish(opt);
   return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(opt, "fig16_fault_waiting_tp" + std::to_string(tp), table);
   }
+  bench::finish(opt);
   return 0;
 }

@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
 
   std::puts("Paper: baseline ~10% throughout; optimized near-zero under 7% "
             "faults, 1.72% at 90% job scale.");
+  bench::finish(opt);
   return 0;
 }

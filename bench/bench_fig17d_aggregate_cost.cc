@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
 
   std::puts("Paper: InfiniteHBD lowest aggregate cost throughout; K=2 "
             "cheaper than K=3 below ~12.1% fault ratio.");
+  bench::finish(opt);
   return 0;
 }

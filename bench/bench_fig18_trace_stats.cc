@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   norm.add_row({"4-GPU nodes", std::to_string(trace4.node_count()),
                 Table::pct(trace4.ratio_summary(0.25).mean)});
   bench::emit(opt, "fig18_normalization", norm);
+  bench::finish(opt);
   return 0;
 }

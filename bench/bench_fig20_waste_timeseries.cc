@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
                 daily);
     }
   }
+  bench::finish(opt);
   return 0;
 }

@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
                      Table::fmt(r.time_s * 1e3, 2)});
   }
   bench::emit(opt, "small_cluster_scaling", scaling);
+  bench::finish(opt);
   return 0;
 }

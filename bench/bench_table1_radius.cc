@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
                    paper_radius(report.architecture)});
   }
   bench::emit(opt, "table1_radius", table);
+  bench::finish(opt);
   return 0;
 }

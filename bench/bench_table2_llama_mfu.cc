@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
                    Table::fmt(row.mfu), std::to_string(row.tp)});
   }
   bench::emit(opt, "table2_llama_mfu", table);
+  bench::finish(opt);
   return 0;
 }

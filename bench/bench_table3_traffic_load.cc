@@ -26,5 +26,6 @@ int main(int argc, char** argv) {
                    k < n ? "yes" : "no"});
   }
   bench::emit(opt, "table3_traffic_load", table);
+  bench::finish(opt);
   return 0;
 }

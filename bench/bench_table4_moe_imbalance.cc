@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
     ++i;
   }
   bench::emit(opt, "table4_moe_imbalance", table);
+  bench::finish(opt);
   return 0;
 }

@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
                    Table::fmt(row.mfu), row.tp_ep});
   }
   bench::emit(opt, "table5_moe_mfu", table);
+  bench::finish(opt);
   return 0;
 }

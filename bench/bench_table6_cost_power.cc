@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
               "NVL-72 (paper 30.9%%) and %.1f%% of TPUv4 (paper 62.8%%).\n",
               100.0 * k2 / bom_by_name(boms, "NVL-72").cost_per_GBps(),
               100.0 * k2 / bom_by_name(boms, "TPUv4").cost_per_GBps());
+  bench::finish(opt);
   return 0;
 }

@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
   std::puts("Note: the Monte-Carlo column includes the cluster-size\n"
             "fragmentation remainder (~m/2N ~= 0.1%) that the analytic\n"
             "breakpoint bound deliberately excludes.");
+  bench::finish(opt);
   return 0;
 }

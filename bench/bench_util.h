@@ -1,6 +1,11 @@
 // Shared helpers for the bench harness. Every bench binary regenerates one
 // table or figure of the paper: it prints the same rows/series the paper
 // reports and, with --csv <dir>, also writes machine-readable CSV.
+//
+// Observability (--metrics / --trace-out) never perturbs the bench output:
+// the metrics snapshot table goes to STDERR and the artifacts (metrics.json,
+// the Perfetto trace) are separate files, so stdout and the CSVs stay
+// byte-identical with instrumentation on or off — CI diffs them.
 #pragma once
 
 #include <cerrno>
@@ -11,6 +16,8 @@
 
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ihbd::bench {
 
@@ -23,17 +30,48 @@ struct Options {
   /// the from-scratch windowed replay — output is bit-identical either way
   /// (CI diffs the two).
   bool incremental = true;
+  /// --metrics: enable the src/obs metrics registry; at exit, print the
+  /// snapshot table to stderr and write metrics.json (into --csv dir when
+  /// given, else the working directory).
+  bool metrics = false;
+  /// --trace-out <file>: enable span tracing and export a Chrome
+  /// trace-event / Perfetto JSON trace to this path at exit.
+  std::string trace_out;
 };
 
 namespace detail {
+
+inline const char* usage_text() {
+  return
+      "  --quick             reduced trial counts (CI smoke mode)\n"
+      "  --csv <dir>         also write machine-readable CSV into <dir>\n"
+      "  --trials N          override the bench's default trial count\n"
+      "  --threads N         worker threads (default: hardware concurrency)\n"
+      "  --incremental 0|1   event-driven trace replay (default 1); output\n"
+      "                      is bit-identical either way\n"
+      "  --metrics           collect src/obs metrics; print a snapshot table\n"
+      "                      to stderr and write metrics.json at exit\n"
+      "  --trace-out <file>  record spans; write a Perfetto / Chrome\n"
+      "                      trace-event JSON trace to <file> at exit\n"
+      "  --help              print this help and exit\n";
+}
 
 [[noreturn]] inline void usage_error(const char* prog, const std::string& why) {
   std::fprintf(stderr,
                "%s: %s\n"
                "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N] "
-               "[--incremental 0|1]\n",
-               prog, why.c_str(), prog);
+               "[--incremental 0|1] [--metrics] [--trace-out <file>] "
+               "[--help]\n%s",
+               prog, why.c_str(), prog, usage_text());
   std::exit(2);
+}
+
+[[noreturn]] inline void print_help(const char* prog) {
+  std::printf(
+      "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N] "
+      "[--incremental 0|1] [--metrics] [--trace-out <file>] [--help]\n%s",
+      prog, usage_text());
+  std::exit(0);
 }
 
 inline bool parse_bool01(const char* prog, const std::string& flag,
@@ -59,7 +97,10 @@ inline int parse_positive_int(const char* prog, const std::string& flag,
 }  // namespace detail
 
 /// Parse the shared bench flags. Unknown flags and missing flag values are
-/// hard errors (exit 2) so typos cannot silently run the default config.
+/// hard errors (exit 2) so typos cannot silently run the default config;
+/// --help prints usage to stdout and exits 0. Enables the obs subsystems
+/// requested by --metrics / --trace-out before returning, so spans and
+/// counters cover the whole run.
 inline Options parse_args(int argc, char** argv) {
   Options opt;
   const char* prog = argc > 0 ? argv[0] : "bench";
@@ -80,10 +121,19 @@ inline Options parse_args(int argc, char** argv) {
       if (++i >= argc)
         detail::usage_error(prog, "--incremental expects 0 or 1");
       opt.incremental = detail::parse_bool01(prog, arg, argv[i]);
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (arg == "--trace-out") {
+      if (++i >= argc) detail::usage_error(prog, "--trace-out expects a file");
+      opt.trace_out = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      detail::print_help(prog);
     } else {
       detail::usage_error(prog, "unknown flag '" + arg + "'");
     }
   }
+  if (opt.metrics) obs::set_enabled(true);
+  if (!opt.trace_out.empty()) obs::set_trace_enabled(true);
   return opt;
 }
 
@@ -101,6 +151,39 @@ inline void emit(const Options& opt, const std::string& name,
 
 inline void banner(const std::string& what) {
   std::printf("=== %s ===\n", what.c_str());
+}
+
+/// Flush observability artifacts at the end of a bench run. With --metrics:
+/// snapshot table to stderr plus metrics.json (in --csv dir when given,
+/// else "."). With --trace-out: the span trace as Perfetto-loadable JSON.
+/// Everything goes to stderr or separate files — stdout stays byte-identical
+/// to an uninstrumented run.
+inline void finish(const Options& opt) {
+  if (opt.metrics) {
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    std::fputs(snap.to_table().to_string().c_str(), stderr);
+    const std::string path =
+        (opt.csv_dir.empty() ? std::string(".") : opt.csv_dir) +
+        "/metrics.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+      const std::string json = snap.to_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "metrics snapshot written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n", path.c_str());
+    }
+  }
+  if (!opt.trace_out.empty()) {
+    if (obs::write_trace_json(opt.trace_out)) {
+      std::fprintf(stderr, "trace written to %s", opt.trace_out.c_str());
+      if (const std::uint64_t dropped = obs::trace_dropped(); dropped > 0)
+        std::fprintf(stderr, " (%llu events dropped at the per-thread cap)",
+                     static_cast<unsigned long long>(dropped));
+      std::fputc('\n', stderr);
+    }
+  }
 }
 
 }  // namespace ihbd::bench

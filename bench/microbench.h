@@ -131,48 +131,108 @@ inline double min_seconds() {
   return cached;
 }
 
-inline void run_one(const Registered& bench,
-                    const std::vector<std::int64_t>& args) {
+/// One finished benchmark run, for the human table and the JSON export.
+struct RunResult {
+  std::string name;  ///< registered name plus "/arg" suffixes
+  double ns_per_iter = 0.0;
+  std::int64_t iterations = 0;
+  std::map<std::string, Counter> counters;
+};
+
+inline RunResult run_one(const Registered& bench,
+                         const std::vector<std::int64_t>& args) {
   using clock = std::chrono::steady_clock;
   const double kMinSeconds = min_seconds();
   constexpr std::int64_t kMaxIters = std::int64_t{1} << 30;
 
+  RunResult result;
   double elapsed = 0.0;
   std::int64_t iters = 1;
-  std::map<std::string, Counter> counters;
   for (;; iters *= 4) {
     State state(iters, args);
     bench.fn(state);
     elapsed =
         std::chrono::duration<double>(clock::now() - state.start_time())
             .count();
-    counters = state.counters;
+    result.counters = state.counters;
     if (elapsed >= kMinSeconds || iters >= kMaxIters) break;
   }
 
-  std::string name = bench.name;
-  for (const auto a : args) name += "/" + std::to_string(a);
+  result.name = bench.name;
+  for (const auto a : args) result.name += "/" + std::to_string(a);
+  result.ns_per_iter = elapsed * 1e9 / static_cast<double>(iters);
+  result.iterations = iters;
+
   std::string extra;
-  for (const auto& [key, counter] : counters) {
+  for (const auto& [key, counter] : result.counters) {
     char buf[96];
     std::snprintf(buf, sizeof buf, " %s=%.4g", key.c_str(), counter.value);
     extra += buf;
   }
-  std::printf("%-36s %12.1f ns/iter %12lld iters%s\n", name.c_str(),
-              elapsed * 1e9 / static_cast<double>(iters),
-              static_cast<long long>(iters), extra.c_str());
+  std::printf("%-36s %12.1f ns/iter %12lld iters%s\n", result.name.c_str(),
+              result.ns_per_iter, static_cast<long long>(iters),
+              extra.c_str());
+  return result;
+}
+
+/// Serialize finished runs as a JSON array (names/keys contain no characters
+/// needing escapes; the harness stays self-contained, so no JSON library).
+inline std::string results_json(const std::vector<RunResult>& results) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (i > 0) out += ',';
+    char buf[128];
+    // name is appended separately: it may exceed the fixed buffer.
+    out += "{\"name\":\"";
+    out += r.name;
+    std::snprintf(buf, sizeof buf,
+                  "\",\"ns_per_iter\":%.17g,\"iterations\":%lld,"
+                  "\"counters\":{",
+                  r.ns_per_iter, static_cast<long long>(r.iterations));
+    out += buf;
+    bool first = true;
+    for (const auto& [key, counter] : r.counters) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += key;
+      std::snprintf(buf, sizeof buf, "\":%.17g", counter.value);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace detail
 
+/// Run every registered benchmark: the human table goes to stdout and, when
+/// the IHBD_MICROBENCH_JSON environment variable names a file, the same
+/// results are written there as a JSON array of
+/// {"name","ns_per_iter","iterations","counters":{...}} objects.
 inline int RunAllBenchmarks() {
   std::printf("%-36s %20s %18s\n", "Benchmark (vendored harness)", "Time",
               "Iterations");
+  std::vector<detail::RunResult> results;
   for (const auto& bench : detail::registry()) {
     if (bench.arg_sets.empty()) {
-      detail::run_one(bench, {});
+      results.push_back(detail::run_one(bench, {}));
     } else {
-      for (const auto& args : bench.arg_sets) detail::run_one(bench, args);
+      for (const auto& args : bench.arg_sets)
+        results.push_back(detail::run_one(bench, args));
+    }
+  }
+  if (const char* path = std::getenv("IHBD_MICROBENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "wb")) {
+      const std::string json = detail::results_json(results);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "microbench results written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "cannot write microbench results to '%s'\n", path);
     }
   }
   return 0;

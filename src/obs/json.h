@@ -1,0 +1,22 @@
+// Minimal JSON emission helpers shared by the observability layer (metrics
+// snapshots, trace-event export). Emission only — the repo has no JSON
+// consumer; CI validates the artifacts with a stock python parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ihbd::obs {
+
+/// Append `s` as a quoted JSON string literal (escaping quotes, backslashes
+/// and control characters).
+void json_append_string(std::string& out, std::string_view s);
+
+/// Append a JSON number. Finite doubles render with the shortest decimal
+/// form that round-trips to the same bits (so snapshot -> JSON -> snapshot
+/// is lossless); non-finite values render as null (JSON has no NaN/inf).
+void json_append_number(std::string& out, double v);
+void json_append_number(std::string& out, std::uint64_t v);
+
+}  // namespace ihbd::obs

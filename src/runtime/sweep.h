@@ -32,6 +32,7 @@
 //       threads);
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -44,6 +45,8 @@
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/accumulate.h"
 #include "src/runtime/thread_pool.h"
 
@@ -139,6 +142,22 @@ namespace detail {
 void validate_spec(const SweepSpec& spec);
 /// Decode a row-major flat cell index into per-axis levels.
 std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell);
+
+/// Sweep-engine metrics (src/obs): cells/trials completed and per-cell wall
+/// time. Handles are interned once; recording is skipped unless obs is
+/// enabled, so the engine's determinism and throughput are untouched.
+struct SweepObs {
+  obs::Counter& cells;
+  obs::Counter& trials;
+  obs::Counter& cell_ns;
+  obs::Histogram& cell_seconds;
+};
+inline SweepObs& sweep_obs() {
+  static SweepObs o{obs::counter("sweep.cells"), obs::counter("sweep.trials"),
+                    obs::counter("sweep.cell_ns"),
+                    obs::histogram("sweep.cell_seconds")};
+  return o;
+}
 }  // namespace detail
 
 /// Generic reduce engine: run every (cell, trial) on a thread pool and fold
@@ -166,6 +185,10 @@ GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
   result.cells.assign(spec.cell_count(), std::move(init));
   const PoolRef pool_ref(threads, pool);
   pool_ref->parallel_for(result.cells.size(), [&](std::size_t cell) {
+    IHBD_TRACE_SPAN("sweep_cell");
+    const bool obs_on = obs::enabled();
+    const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
     const std::vector<std::size_t> idx = detail::decode_cell(spec, cell);
     Acc& acc = result.cells[cell];
     for (int t = 0; t < spec.trials; ++t) {
@@ -178,6 +201,16 @@ GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
       } else {
         fold(acc, trial(scenario, rng));
       }
+    }
+    if (obs_on) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      detail::SweepObs& o = detail::sweep_obs();
+      o.cells.add(1);
+      o.trials.add(static_cast<std::uint64_t>(spec.trials));
+      o.cell_ns.add(static_cast<std::uint64_t>(ns));
+      o.cell_seconds.observe(static_cast<double>(ns) * 1e-9);
     }
   });
   return result;

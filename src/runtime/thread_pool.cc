@@ -1,10 +1,12 @@
 #include "src/runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
 #include "src/common/contracts.h"
+#include "src/obs/metrics.h"
 
 namespace ihbd::runtime {
 
@@ -14,6 +16,14 @@ namespace {
 // (LIFO locality) and lets pop_task skip the useless self-steal.
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local std::size_t tls_worker = 0;
+
+/// Nanoseconds between two steady_clock points; taken only when obs is on.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 }  // namespace
 
 struct ThreadPool::Worker {
@@ -73,6 +83,19 @@ ThreadPool& ThreadPool::shared() {
 ThreadPool::ThreadPool(int threads) : root_(*this) {
   IHBD_EXPECTS(threads >= 0);
   if (threads == 0) threads = default_threads();
+  // Resolve the metric handles BEFORE any worker starts: this also orders
+  // the obs registry's construction before this pool's, so the registry
+  // outlives the shared() pool's shutdown drain at process exit.
+  obs_ = ObsRefs{&obs::counter("pool.tasks_executed"),
+                 &obs::counter("pool.tasks_stolen"),
+                 &obs::counter("pool.steal_attempts"),
+                 &obs::counter("pool.steal_failures"),
+                 &obs::counter("pool.tasks_injected"),
+                 &obs::counter("pool.wake_signals"),
+                 &obs::counter("pool.busy_ns"),
+                 &obs::counter("pool.idle_ns"),
+                 &obs::gauge("pool.inject_depth"),
+                 &obs::gauge("pool.wake_epoch")};
   workers_.reserve(static_cast<std::size_t>(threads));
   // Materialize every Worker before any thread starts: workers steal by
   // scanning workers_, which must never resize under them.
@@ -95,10 +118,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::signal(bool assert_not_stopped) {
+  std::uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     if (assert_not_stopped) IHBD_EXPECTS(!stop_);
-    ++wake_epoch_;
+    epoch = ++wake_epoch_;
+  }
+  if (obs::enabled()) {
+    obs_.wake_signals->add(1);
+    obs_.wake_epoch->set(static_cast<double>(epoch));
   }
   wake_cv_.notify_all();
 }
@@ -111,8 +139,16 @@ void ThreadPool::enqueue(Task task) {
     std::lock_guard<std::mutex> lock(self.mu);
     self.tasks.push_back(std::move(task));
   } else {
-    std::lock_guard<std::mutex> lock(inject_mu_);
-    inject_.push_back(std::move(task));
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(inject_mu_);
+      inject_.push_back(std::move(task));
+      depth = inject_.size();
+    }
+    if (obs::enabled()) {
+      obs_.injected->add(1);
+      obs_.inject_depth->set(static_cast<double>(depth));
+    }
   }
   // Forks from this pool's own tasks stay legal during the destructor's
   // shutdown drain — the draining workers complete them (a drained task
@@ -140,6 +176,8 @@ bool ThreadPool::pop_task(Task& out) {
       return true;
     }
   }
+  const bool obs_on = obs::enabled();
+  if (obs_on) obs_.steal_attempts->add(1);
   const std::size_t n = workers_.size();
   const std::size_t start = on_pool ? workers_[tls_worker]->next_victim++ : 0;
   for (std::size_t k = 0; k < n; ++k) {
@@ -149,18 +187,27 @@ bool ThreadPool::pop_task(Task& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      if (obs_on) obs_.stolen->add(1);
       return true;
     }
   }
+  if (obs_on) obs_.steal_failures->add(1);
   return false;
 }
 
 void ThreadPool::run_task(Task&& task) {
   TaskGroup* group = task.group;
+  const bool obs_on = obs::enabled();
+  const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   try {
     task.fn();
   } catch (...) {
     group->capture(std::current_exception());
+  }
+  if (obs_on) {
+    obs_.executed->add(1);
+    obs_.busy_ns->add(elapsed_ns(t0));
   }
   // Destroy the callable BEFORE announcing completion: once pending_ hits
   // zero a joiner may return and tear down whatever the callable captured.
@@ -191,8 +238,14 @@ void ThreadPool::help_until(const std::function<bool()>& done) {
     // here; anything after it moves the epoch and cancels the sleep.
     if (done()) return;
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] { return wake_epoch_ != epoch || done(); });
+    const bool obs_on = obs::enabled();
+    const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [&] { return wake_epoch_ != epoch || done(); });
+    }
+    if (obs_on) obs_.idle_ns->add(elapsed_ns(t0));
   }
 }
 
@@ -208,9 +261,17 @@ void ThreadPool::worker_loop(std::size_t self) {
       epoch = wake_epoch_;
     }
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] { return stop_ || wake_epoch_ != epoch; });
-    if (stop_) break;
+    const bool obs_on = obs::enabled();
+    const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    bool stopped;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [&] { return stop_ || wake_epoch_ != epoch; });
+      stopped = stop_;
+    }
+    if (obs_on) obs_.idle_ns->add(elapsed_ns(t0));
+    if (stopped) break;
   }
   // Shutdown drain: serve whatever is still queued so no enqueued task is
   // ever silently dropped (same contract as the old shared-queue pool).

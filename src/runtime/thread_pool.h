@@ -50,6 +50,11 @@
 #include <type_traits>
 #include <vector>
 
+namespace ihbd::obs {
+class Counter;
+class Gauge;
+}  // namespace ihbd::obs
+
 namespace ihbd::runtime {
 
 class ThreadPool;
@@ -179,6 +184,24 @@ class ThreadPool {
 
   std::atomic<std::size_t> in_flight_{0};  ///< enqueued or running tasks
   TaskGroup root_;                         ///< owns submit()ted tasks
+
+  // Observability handles (src/obs), resolved once at construction — every
+  // recording call is a relaxed branch while obs is disabled (the default),
+  // so the scheduler hot path stays unperturbed. All pools aggregate into
+  // the same named metrics ("pool.*").
+  struct ObsRefs {
+    obs::Counter* executed = nullptr;       ///< tasks run to completion
+    obs::Counter* stolen = nullptr;         ///< tasks taken from a peer deque
+    obs::Counter* steal_attempts = nullptr; ///< peer-deque scans started
+    obs::Counter* steal_failures = nullptr; ///< scans that found nothing
+    obs::Counter* injected = nullptr;       ///< tasks from non-worker threads
+    obs::Counter* wake_signals = nullptr;   ///< wake-epoch bumps
+    obs::Counter* busy_ns = nullptr;        ///< wall time inside task bodies
+    obs::Counter* idle_ns = nullptr;        ///< wall time asleep on wake_cv_
+    obs::Gauge* inject_depth = nullptr;     ///< injection-queue depth sample
+    obs::Gauge* wake_epoch = nullptr;       ///< latest wake epoch sample
+  };
+  ObsRefs obs_;
 };
 
 /// Owns-or-borrows resolution of the stack-wide pool convention (the bench

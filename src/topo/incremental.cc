@@ -1,11 +1,40 @@
 #include "src/topo/incremental.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/common/contracts.h"
 #include "src/common/error.h"
+#include "src/obs/metrics.h"
 
 namespace ihbd::topo {
+
+namespace {
+
+/// Incremental-allocator metrics (src/obs): how often each KHop flip tier
+/// fires, memoizing-fallback behaviour, and per-island flip volume. All
+/// recording sits behind obs::enabled() so the allocators' O(1)/O(log N)
+/// hot paths are unperturbed by default.
+struct AllocObs {
+  obs::Counter& khop_residue_step;   ///< tier 1: unbroken-ring residue step
+  obs::Counter& khop_arc_patch;      ///< tier 2: arc-interior length patch
+  obs::Counter& khop_general;        ///< tier 3: window subtract/re-add
+  obs::Counter& memo_realloc;        ///< memoizing fallback full reallocs
+  obs::Counter& memo_hits;           ///< memoizing fallback cache hits
+  obs::Counter& island_flips;        ///< per-island O(1) flips applied
+};
+
+AllocObs& alloc_obs() {
+  static AllocObs o{obs::counter("alloc.khop.residue_step"),
+                    obs::counter("alloc.khop.arc_patch"),
+                    obs::counter("alloc.khop.general_window"),
+                    obs::counter("alloc.memo.reallocs"),
+                    obs::counter("alloc.memo.hits"),
+                    obs::counter("alloc.island.flips")};
+  return o;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MemoizingAllocator
@@ -23,6 +52,9 @@ const Allocation& MemoizingAllocator::apply(const std::vector<bool>& mask,
   if (!initialized_ || !flipped.empty()) {
     alloc_ = arch_.allocate(mask, tp_size_gpus_);
     initialized_ = true;
+    if (obs::enabled()) alloc_obs().memo_realloc.add(1);
+  } else if (obs::enabled()) {
+    alloc_obs().memo_hits.add(1);
   }
   return alloc_;
 }
@@ -206,6 +238,10 @@ void KHopRingIncrementalAllocator::flip(int x) {
   const bool to_faulty = !faulty_[static_cast<std::size_t>(x)];
 
   // Lone-node transitions have no healthy neighbors to define links.
+  // (Counted under the general tier: they rewrite cut structure wholesale.)
+  if ((to_faulty ? healthy_count_ == 1 : healthy_count_ == 0) &&
+      obs::enabled())
+    alloc_obs().khop_general.add(1);
   if (to_faulty && healthy_count_ == 1) {
     accumulate_all(-1);
     faulty_[static_cast<std::size_t>(x)] = 1;
@@ -263,6 +299,7 @@ void KHopRingIncrementalAllocator::flip(int x) {
       // changes length by one, so the wasted residue (== healthy_count_ %
       // m_ here) steps modularly — no division, no search, no Fenwick
       // range query.
+      if (obs::enabled()) alloc_obs().khop_residue_step.add(1);
       if (to_faulty) {
         unlink_x();
         wasted_nodes_ = wasted_nodes_ == 0 ? m_ - 1 : wasted_nodes_ - 1;
@@ -274,6 +311,7 @@ void KHopRingIncrementalAllocator::flip(int x) {
       // Tier 2: arc-interior flip with cuts elsewhere. Only the arc
       // containing x changes length; locate it with two plain binary
       // searches (p and x hold no cuts here, so no exclusions needed).
+      if (obs::enabled()) alloc_obs().khop_arc_patch.add(1);
       const auto lb = std::lower_bound(cuts_.begin(), cuts_.end(), x);
       const int ca = lb == cuts_.begin() ? cuts_.back() : *(lb - 1);
       const int cb = next_cut(ca);
@@ -292,6 +330,7 @@ void KHopRingIncrementalAllocator::flip(int x) {
   // Tier 3 (general): cut membership changes at keys p and x only; the
   // affected arcs lie between the nearest persistent cuts around the
   // neighborhood. Subtract those arcs, mutate, re-add them.
+  if (obs::enabled()) alloc_obs().khop_general.add(1);
   const int ca = prev_cut_excluding(p, p, x);
   const int cb = ca < 0 ? -1 : next_cut_excluding(x, p, x);
 
@@ -391,6 +430,7 @@ const Allocation& PerIslandAllocatorBase::apply(
       faulty_[static_cast<std::size_t>(x)] = to_faulty ? 1 : 0;
       healthy_count_ += to_faulty ? -1 : 1;
       island_flip(x, to_faulty);
+      if (obs::enabled()) alloc_obs().island_flips.add(1);
     }
   }
   const int wasted = wasted_nodes();

@@ -4,14 +4,51 @@
 #include <cmath>
 #include <utility>
 
+#include <chrono>
+#include <cstdint>
+
 #include "src/common/contracts.h"
 #include "src/fault/transitions.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/thread_pool.h"
 #include "src/topo/incremental.h"
 
 namespace ihbd::topo {
 
 namespace {
+
+/// Replay metrics (src/obs): windows/samples replayed per tier, fault flips
+/// applied by the event-driven tier, merge cost, and the per-window
+/// throughput distribution. Recording is skipped unless obs is enabled and
+/// never touches replay results (byte-identical output on vs off).
+struct ReplayObs {
+  obs::Counter& windows_scratch;     ///< from-scratch windows replayed
+  obs::Counter& windows_incremental; ///< event-driven windows replayed
+  obs::Counter& samples;             ///< samples replayed (all tiers)
+  obs::Counter& flips_applied;       ///< net fault flips fed to allocators
+  obs::Counter& merge_ns;            ///< fragment-merge wall time
+  obs::Counter& evaluations;         ///< evaluate_waste_over_trace calls
+  obs::Histogram& window_samples_per_s;  ///< per-window replay throughput
+};
+
+ReplayObs& replay_obs() {
+  static ReplayObs o{obs::counter("replay.windows_scratch"),
+                     obs::counter("replay.windows_incremental"),
+                     obs::counter("replay.samples"),
+                     obs::counter("replay.flips_applied"),
+                     obs::counter("replay.merge_ns"),
+                     obs::counter("replay.evaluations"),
+                     obs::histogram("replay.window_samples_per_s")};
+  return o;
+}
+
+std::uint64_t obs_elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 
 void append_series(TimeSeries& dst, TimeSeries&& src) {
   if (dst.t.empty()) {
@@ -37,6 +74,10 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
                                         const fault::SampleWindow& window,
                                         bool keep_samples) {
   IHBD_EXPECTS(window.begin + window.count <= days.size());
+  IHBD_TRACE_SPAN("replay_window_scratch");
+  const bool obs_on = obs::enabled();
+  const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   TraceWindowFragment frag;
   frag.waste_acc.set_keep_samples(keep_samples);
   for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
@@ -48,6 +89,14 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
     frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
     frag.waste_acc.add(waste);
   }
+  if (obs_on) {
+    ReplayObs& o = replay_obs();
+    o.windows_scratch.add(1);
+    o.samples.add(window.count);
+    const double secs = static_cast<double>(obs_elapsed_ns(t0)) * 1e-9;
+    if (secs > 0.0)
+      o.window_samples_per_s.observe(static_cast<double>(window.count) / secs);
+  }
   return frag;
 }
 
@@ -56,6 +105,11 @@ TraceWindowFragment replay_trace_window_incremental(
     int tp_size_gpus, const std::vector<double>& days,
     const fault::SampleWindow& window, bool keep_samples) {
   IHBD_EXPECTS(window.begin + window.count <= days.size());
+  IHBD_TRACE_SPAN("replay_window");
+  const bool obs_on = obs::enabled();
+  const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  std::uint64_t flips = 0;
   TraceWindowFragment frag;
   frag.waste_acc.set_keep_samples(keep_samples);
   frag.waste_ratio.t.reserve(window.count);
@@ -73,11 +127,21 @@ TraceWindowFragment replay_trace_window_incremental(
     // allocator's aggregates equal arch.allocate(mask, tp) on it, so this
     // fragment matches replay_trace_window exactly.
     const std::vector<int>& flipped = cursor.advance_to(day);
+    flips += flipped.size();
     const Allocation& alloc = allocator->apply(cursor.mask(), flipped);
     const double waste = alloc.waste_ratio();
     frag.waste_ratio.push(day, waste);
     frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
     frag.waste_acc.add(waste);
+  }
+  if (obs_on) {
+    ReplayObs& o = replay_obs();
+    o.windows_incremental.add(1);
+    o.samples.add(window.count);
+    o.flips_applied.add(flips);
+    const double secs = static_cast<double>(obs_elapsed_ns(t0)) * 1e-9;
+    if (secs > 0.0)
+      o.window_samples_per_s.observe(static_cast<double>(window.count) / secs);
   }
   return frag;
 }
@@ -89,6 +153,9 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
   IHBD_EXPECTS(trace.node_count() == arch.node_count());
   IHBD_EXPECTS(options.step_days > 0.0);
   IHBD_EXPECTS(options.threads >= 0);
+
+  IHBD_TRACE_SPAN("replay_trace");
+  replay_obs().evaluations.add(1);
 
   const std::vector<double> days = trace.sample_days(options.step_days);
   runtime::ThreadPool* pool = options.pool;
@@ -137,9 +204,14 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
   // bit-for-bit regardless of thread count.
   TraceWasteResult out;
   if (fragments.empty()) return out;
+  IHBD_TRACE_SPAN("replay_merge");
+  const bool obs_on = obs::enabled();
+  const auto merge_t0 = obs_on ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   TraceWindowFragment merged = std::move(fragments.front());
   for (std::size_t w = 1; w < fragments.size(); ++w)
     merged.merge_next(std::move(fragments[w]));
+  if (obs_on) replay_obs().merge_ns.add(obs_elapsed_ns(merge_t0));
   out.waste_ratio = std::move(merged.waste_ratio);
   out.usable_gpus = std::move(merged.usable_gpus);
   out.waste_summary = merged.waste_acc.summary();
