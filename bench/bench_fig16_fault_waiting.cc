@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
         ropts.window_samples = window_samples;
         ropts.keep_samples = false;  // only the usable series is read
         ropts.incremental = opt.incremental;
+        ropts.packed = opt.packed;
         return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp,
                                                ropts)
             .usable_gpus;

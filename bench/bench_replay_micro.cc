@@ -1,11 +1,13 @@
 // Micro-benchmark for the trace-replay tiers (see src/topo/waste.h):
-// serial oracle, windowed from-scratch replay, and event-driven incremental
-// replay, on the 348-day production-calibrated sim trace (720 4-GPU nodes,
-// same cluster as Figs. 13/15/16/20). Covers the K-Hop Ring and the
+// serial oracle, windowed from-scratch replay, event-driven incremental
+// replay (pinned to the per-node flip-list path of PRs 4-5, the comparison
+// baseline), and the word-parallel packed tier (PackedMask + per-word XOR
+// deltas), on the 348-day production-calibrated sim trace (720 4-GPU
+// nodes, same cluster as Figs. 13/15/16/20). Covers the K-Hop Ring and the
 // baseline architectures (per-island allocators vs the memoizing fallback
-// they replaced). Reports replayed samples per second per tier; CI runs it
-// to track the speedups. Built directly on the vendored bench/microbench.h
-// harness so it needs no Google Benchmark.
+// they replaced, each with a packed variant). Reports replayed samples per
+// second per tier; CI runs it to track the speedups. Built directly on the
+// vendored bench/microbench.h harness so it needs no Google Benchmark.
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -34,12 +36,13 @@ const topo::KHopRing& khop_ring() {
   return ring;
 }
 
-topo::TraceReplayOptions replay_options(bool incremental,
+topo::TraceReplayOptions replay_options(bool incremental, bool packed,
                                         double step_days = 1.0) {
   topo::TraceReplayOptions opts;
   opts.step_days = step_days;
   opts.threads = 1;  // isolate the per-sample cost, not pool fan-out
   opts.incremental = incremental;
+  opts.packed = packed;
   return opts;
 }
 
@@ -82,19 +85,32 @@ static void BM_replay_windowed(benchmark::State& state) {
   const int tp = static_cast<int>(state.range(0));
   run_replay_bench(state, [&] {
     return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
-                                           replay_options(false));
+                                           replay_options(false, false));
   });
 }
 BENCHMARK(BM_replay_windowed)->Arg(8)->Arg(32);
 
+// Pinned to packed=false: this tier IS the PR 4/5 flip-list pipeline, kept
+// as the speedup denominator for the packed tier below.
 static void BM_replay_incremental(benchmark::State& state) {
   const int tp = static_cast<int>(state.range(0));
   run_replay_bench(state, [&] {
     return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
-                                           replay_options(true));
+                                           replay_options(true, false));
   });
 }
 BENCHMARK(BM_replay_incremental)->Arg(8)->Arg(32);
+
+// The word-parallel tier: packed masks + per-word XOR deltas end-to-end
+// (cursor.advance_to_words into apply_words, popcount healthy counts).
+static void BM_replay_packed(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           replay_options(true, true));
+  });
+}
+BENCHMARK(BM_replay_packed)->Arg(8)->Arg(32);
 
 // --- baseline architectures: per-island allocators vs memoizing fallback --
 //
@@ -125,21 +141,36 @@ const topo::HbdArchitecture& baseline_arch(int case_index) {
 /// Replay loop pinned to a specific IncrementalAllocator implementation
 /// (the production path dispatches via make_incremental_allocator, which
 /// no longer hands baselines the memoizing fallback — so the fallback tier
-/// is driven directly here for the comparison).
+/// is driven directly here for the comparison). `packed` picks the cursor
+/// entry point: per-node flip lists into apply() (the PR 4/5 path) vs
+/// per-word XOR deltas into apply_words().
 template <typename MakeAllocator>
 void run_allocator_replay_bench(benchmark::State& state,
-                                MakeAllocator&& make_allocator) {
+                                MakeAllocator&& make_allocator,
+                                bool packed = false) {
   const auto c = kBaselineCases[state.range(0)];
   const topo::HbdArchitecture& arch = baseline_arch(
       static_cast<int>(state.range(0)));
   const std::vector<double> days = sim_trace().sample_days(1.0);
   run_samples_bench(state, [&] {
-    fault::FaultMaskCursor cursor(sim_trace());
+    // The packed loop binds its cursor to the grid-folded timeline, exactly
+    // as the production replay in src/topo/waste.cc does.
+    fault::FaultMaskCursor cursor =
+        packed ? fault::FaultMaskCursor(sim_trace(), 1.0)
+               : fault::FaultMaskCursor(sim_trace());
     const auto allocator = make_allocator(arch, c.tp);
     double sink = 0.0;
-    for (const double day : days) {
-      const std::vector<int>& flipped = cursor.advance_to(day);
-      sink += allocator->apply(cursor.mask(), flipped).waste_ratio();
+    if (packed) {
+      for (const double day : days) {
+        const auto& deltas = cursor.advance_to_words(day);
+        sink += allocator->apply_words(cursor.packed_mask(), deltas)
+                    .waste_ratio();
+      }
+    } else {
+      for (const double day : days) {
+        const std::vector<int>& flipped = cursor.advance_to(day);
+        sink += allocator->apply(cursor.mask(), flipped).waste_ratio();
+      }
     }
     benchmark::DoNotOptimize(sink);
     return days.size();
@@ -173,6 +204,16 @@ static void BM_baseline_island(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_baseline_island)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+static void BM_baseline_packed(benchmark::State& state) {
+  run_allocator_replay_bench(
+      state,
+      [](const topo::HbdArchitecture& arch, int tp) {
+        return topo::make_incremental_allocator(arch, tp);
+      },
+      /*packed=*/true);
+}
+BENCHMARK(BM_baseline_packed)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 // --- nested sweep × replay: one work-stealing pool for both levels --------
 //
@@ -257,9 +298,18 @@ static void BM_replay_incremental_quarter_day(benchmark::State& state) {
   const int tp = static_cast<int>(state.range(0));
   run_replay_bench(state, [&] {
     return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
-                                           replay_options(true, 0.25));
+                                           replay_options(true, false, 0.25));
   });
 }
 BENCHMARK(BM_replay_incremental_quarter_day)->Arg(32);
+
+static void BM_replay_packed_quarter_day(benchmark::State& state) {
+  const int tp = static_cast<int>(state.range(0));
+  run_replay_bench(state, [&] {
+    return topo::evaluate_waste_over_trace(khop_ring(), sim_trace(), tp,
+                                           replay_options(true, true, 0.25));
+  });
+}
+BENCHMARK(BM_replay_packed_quarter_day)->Arg(32);
 
 BENCHMARK_MAIN();

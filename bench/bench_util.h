@@ -30,6 +30,10 @@ struct Options {
   /// the from-scratch windowed replay — output is bit-identical either way
   /// (CI diffs the two).
   bool incremental = true;
+  /// Word-parallel replay core (--packed 0|1). On by default; 0 restores
+  /// the per-node flip-list pipeline — output is bit-identical either way
+  /// (CI diffs the two).
+  bool packed = true;
   /// --metrics: enable the src/obs metrics registry; at exit, print the
   /// snapshot table to stderr and write metrics.json (into --csv dir when
   /// given, else the working directory).
@@ -49,6 +53,8 @@ inline const char* usage_text() {
       "  --threads N         worker threads (default: hardware concurrency)\n"
       "  --incremental 0|1   event-driven trace replay (default 1); output\n"
       "                      is bit-identical either way\n"
+      "  --packed 0|1        word-parallel packed-mask replay (default 1);\n"
+      "                      output is bit-identical either way\n"
       "  --metrics           collect src/obs metrics; print a snapshot table\n"
       "                      to stderr and write metrics.json at exit\n"
       "  --trace-out <file>  record spans; write a Perfetto / Chrome\n"
@@ -60,8 +66,8 @@ inline const char* usage_text() {
   std::fprintf(stderr,
                "%s: %s\n"
                "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N] "
-               "[--incremental 0|1] [--metrics] [--trace-out <file>] "
-               "[--help]\n%s",
+               "[--incremental 0|1] [--packed 0|1] [--metrics] "
+               "[--trace-out <file>] [--help]\n%s",
                prog, why.c_str(), prog, usage_text());
   std::exit(2);
 }
@@ -69,7 +75,8 @@ inline const char* usage_text() {
 [[noreturn]] inline void print_help(const char* prog) {
   std::printf(
       "usage: %s [--quick] [--csv <dir>] [--trials N] [--threads N] "
-      "[--incremental 0|1] [--metrics] [--trace-out <file>] [--help]\n%s",
+      "[--incremental 0|1] [--packed 0|1] [--metrics] [--trace-out <file>] "
+      "[--help]\n%s",
       prog, usage_text());
   std::exit(0);
 }
@@ -121,6 +128,9 @@ inline Options parse_args(int argc, char** argv) {
       if (++i >= argc)
         detail::usage_error(prog, "--incremental expects 0 or 1");
       opt.incremental = detail::parse_bool01(prog, arg, argv[i]);
+    } else if (arg == "--packed") {
+      if (++i >= argc) detail::usage_error(prog, "--packed expects 0 or 1");
+      opt.packed = detail::parse_bool01(prog, arg, argv[i]);
     } else if (arg == "--metrics") {
       opt.metrics = true;
     } else if (arg == "--trace-out") {

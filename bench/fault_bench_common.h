@@ -65,13 +65,13 @@ inline std::size_t nested_window_samples(std::size_t cell_count,
 /// with fewer cells than cores no longer strands the rest of the machine.
 /// Unsupported cells keep the default-constructed (empty) TraceWasteResult.
 /// The replay is deterministic, so the grid is bit-identical for any thread
-/// count AND for either `incremental` setting (event-driven
-/// cursor+allocator replay vs from-scratch re-allocation; CI diffs the
-/// two).
+/// count AND for any `incremental` x `packed` setting (event-driven
+/// cursor+allocator replay vs from-scratch re-allocation; word-parallel
+/// packed masks vs per-node flip lists; CI diffs all combinations).
 inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
     const std::vector<std::unique_ptr<topo::HbdArchitecture>>& archs,
     const fault::FaultTrace& trace, std::vector<double> tps, int threads,
-    bool keep_samples = true, bool incremental = true) {
+    bool keep_samples = true, bool incremental = true, bool packed = true) {
   runtime::SweepSpec spec;
   spec.trials = 1;  // replay is deterministic; the grid itself is the work
   spec.keep_samples = keep_samples;
@@ -99,6 +99,7 @@ inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
         opts.window_samples = window_samples;
         opts.keep_samples = s.spec().keep_samples;
         opts.incremental = incremental;
+        opts.packed = packed;
         return topo::evaluate_waste_over_trace(arch, trace, tp, opts);
       },
       [](topo::TraceWasteResult& acc, topo::TraceWasteResult&& replay) {

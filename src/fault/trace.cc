@@ -14,6 +14,13 @@ namespace ihbd::fault {
 struct FaultTrace::TimelineCache {
   std::once_flag once;
   std::shared_ptr<const std::vector<FaultTransition>> edges;
+  std::once_flag words_once;
+  std::shared_ptr<const WordDeltaTimeline> words;
+  // Grid-folded timelines, one per distinct sample step. Replays use a
+  // handful of steps at most, so a flat list beats a map.
+  std::mutex grids_mutex;
+  std::vector<std::pair<double, std::shared_ptr<const WordDeltaTimeline>>>
+      grids;
 };
 
 FaultTrace::FaultTrace(int node_count, double duration_days,
@@ -43,6 +50,15 @@ std::vector<bool> FaultTrace::faulty_at(double day) const {
   for (const auto& e : events_) {
     if (e.start_day > day) break;
     if (day < e.end_day) mask[static_cast<std::size_t>(e.node)] = true;
+  }
+  return mask;
+}
+
+PackedMask FaultTrace::packed_faulty_at(double day) const {
+  PackedMask mask(node_count_);
+  for (const auto& e : events_) {
+    if (e.start_day > day) break;
+    if (day < e.end_day) mask.set(e.node, true);
   }
   return mask;
 }
@@ -104,6 +120,132 @@ FaultTrace::transition_timeline() const {
         std::make_shared<const std::vector<FaultTransition>>(transitions());
   });
   return timeline_cache_->edges;
+}
+
+std::shared_ptr<const WordDeltaTimeline> FaultTrace::word_delta_timeline()
+    const {
+  std::call_once(timeline_cache_->words_once, [&] {
+    const auto edges = transition_timeline();
+    auto out = std::make_shared<WordDeltaTimeline>();
+    // One active-interval walk over the whole timeline (the same counting
+    // FaultMaskCursor's per-node path does), folding each exact-day batch
+    // into the net per-word XOR of its genuine bit changes.
+    std::vector<int> active(static_cast<std::size_t>(node_count_), 0);
+    PackedMask current(node_count_);
+    std::vector<std::uint64_t> word_xor(
+        static_cast<std::size_t>(current.word_count()), 0);
+    std::vector<char> word_stamp(
+        static_cast<std::size_t>(current.word_count()), 0);
+    std::vector<int> dirty_words;
+    std::vector<int> touched;
+    std::vector<char> touch_stamp(static_cast<std::size_t>(node_count_), 0);
+    out->offsets.push_back(0);
+    std::size_t i = 0;
+    while (i < edges->size()) {
+      const double day = (*edges)[i].day;
+      do {
+        const FaultTransition& edge = (*edges)[i++];
+        const auto node = static_cast<std::size_t>(edge.node);
+        active[node] += edge.down ? 1 : -1;
+        if (!touch_stamp[node]) {
+          touch_stamp[node] = 1;
+          touched.push_back(edge.node);
+        }
+      } while (i < edges->size() && (*edges)[i].day == day);
+      for (const int node : touched) {
+        const auto n = static_cast<std::size_t>(node);
+        touch_stamp[n] = 0;
+        if (current.test(node) == (active[n] > 0)) continue;
+        const int w = node / PackedMask::kWordBits;
+        if (!word_stamp[static_cast<std::size_t>(w)]) {
+          word_stamp[static_cast<std::size_t>(w)] = 1;
+          word_xor[static_cast<std::size_t>(w)] = 0;
+          dirty_words.push_back(w);
+        }
+        word_xor[static_cast<std::size_t>(w)] ^=
+            std::uint64_t{1} << (node % PackedMask::kWordBits);
+      }
+      touched.clear();
+      if (dirty_words.empty()) continue;  // all edges cancelled: omit the day
+      std::sort(dirty_words.begin(), dirty_words.end());
+      for (const int w : dirty_words) {
+        word_stamp[static_cast<std::size_t>(w)] = 0;
+        // Nonzero by construction: each node contributes its net flip at
+        // most once, and distinct nodes occupy distinct bits.
+        const std::uint64_t bits = word_xor[static_cast<std::size_t>(w)];
+        current.apply_xor(w, bits);
+        out->deltas.push_back({w, bits});
+      }
+      dirty_words.clear();
+      out->days.push_back(day);
+      out->offsets.push_back(static_cast<int>(out->deltas.size()));
+    }
+    timeline_cache_->words = std::move(out);
+  });
+  return timeline_cache_->words;
+}
+
+std::shared_ptr<const WordDeltaTimeline> FaultTrace::word_delta_timeline(
+    double step_days) const {
+  IHBD_EXPECTS(step_days > 0.0);
+  {
+    std::lock_guard<std::mutex> lock(timeline_cache_->grids_mutex);
+    for (const auto& [step, grid] : timeline_cache_->grids)
+      if (step == step_days) return grid;
+  }
+  const auto exact = word_delta_timeline();
+  const std::vector<double> grid_days = sample_days(step_days);
+  auto out = std::make_shared<WordDeltaTimeline>();
+  out->offsets.push_back(0);
+  const int words = (node_count_ + PackedMask::kWordBits - 1) /
+                    PackedMask::kWordBits;
+  std::vector<std::uint64_t> word_xor(static_cast<std::size_t>(words), 0);
+  std::vector<char> word_stamp(static_cast<std::size_t>(words), 0);
+  std::vector<int> dirty_words;
+  std::size_t g = 0;
+  for (const double day : grid_days) {
+    // Fold every exact-day group that became visible by this sample day
+    // (exact groups are net and compose by XOR, so the fold is exact).
+    for (; g < exact->days.size() && exact->days[g] <= day; ++g) {
+      for (int i = exact->offsets[g]; i < exact->offsets[g + 1]; ++i) {
+        const WordDelta& d = exact->deltas[static_cast<std::size_t>(i)];
+        const auto w = static_cast<std::size_t>(d.word);
+        if (!word_stamp[w]) {
+          word_stamp[w] = 1;
+          word_xor[w] = 0;
+          dirty_words.push_back(d.word);
+        }
+        word_xor[w] ^= d.xor_bits;
+      }
+    }
+    if (dirty_words.empty()) continue;
+    std::sort(dirty_words.begin(), dirty_words.end());
+    bool any = false;
+    for (const int w : dirty_words) {
+      word_stamp[static_cast<std::size_t>(w)] = 0;
+      const std::uint64_t bits = word_xor[static_cast<std::size_t>(w)];
+      if (bits == 0) continue;  // down+up within one sample step cancels
+      out->deltas.push_back({w, bits});
+      any = true;
+    }
+    dirty_words.clear();
+    if (!any) continue;
+    out->days.push_back(day);
+    out->offsets.push_back(static_cast<int>(out->deltas.size()));
+  }
+  // Exact groups past the last sample day keep their own days: a cursor
+  // advanced beyond the grid still applies them at the exact moment.
+  for (; g < exact->days.size(); ++g) {
+    for (int i = exact->offsets[g]; i < exact->offsets[g + 1]; ++i)
+      out->deltas.push_back(exact->deltas[static_cast<std::size_t>(i)]);
+    out->days.push_back(exact->days[g]);
+    out->offsets.push_back(static_cast<int>(out->deltas.size()));
+  }
+  std::lock_guard<std::mutex> lock(timeline_cache_->grids_mutex);
+  for (const auto& [step, grid] : timeline_cache_->grids)
+    if (step == step_days) return grid;  // lost a benign build race
+  timeline_cache_->grids.emplace_back(step_days, out);
+  return out;
 }
 
 TimeSeries FaultTrace::ratio_series(double step_days) const {

@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/fault/packed_mask.h"
 
 namespace ihbd::fault {
 
@@ -37,6 +38,21 @@ struct FaultTransition {
   bool down = false;  ///< true: fault begins; false: repair completes
 };
 
+/// The word-parallel transition timeline: the net mask change of every
+/// exact transition day, pre-folded into per-word XOR spans. Group g covers
+/// deltas[offsets[g] .. offsets[g+1]) and XORs the faulty mask of days[g]'s
+/// net flips (cancelling same-day edges and overlap-shadowed edges already
+/// removed; days whose edges all cancel are omitted entirely). Because each
+/// group is the exact bit change of its day, groups compose by XOR: the net
+/// change across ANY day range is the XOR of its groups — which is what
+/// lets a replay cursor advance over an arbitrary sample grid with a few
+/// word XORs instead of a per-node walk (see FaultMaskCursor).
+struct WordDeltaTimeline {
+  std::vector<double> days;       ///< ascending, unique, zero-net days omitted
+  std::vector<int> offsets;       ///< days.size() + 1 span bounds into deltas
+  std::vector<WordDelta> deltas;  ///< word-ascending, nonzero, per group
+};
+
 /// An immutable fault trace over a fixed node count and duration.
 class FaultTrace {
  public:
@@ -49,6 +65,10 @@ class FaultTrace {
 
   /// Faulty-node mask at an instant. O(log E + active) via the sorted index.
   std::vector<bool> faulty_at(double day) const;
+
+  /// faulty_at() in packed form: same event scan, same comparisons, so
+  /// packed_faulty_at(d).to_bools() == faulty_at(d) for every d.
+  PackedMask packed_faulty_at(double day) const;
 
   /// Number of faulty nodes at an instant.
   int faulty_count_at(double day) const;
@@ -83,6 +103,25 @@ class FaultTrace {
   /// window of a parallel replay — skip the timeline sort.
   std::shared_ptr<const std::vector<FaultTransition>> transition_timeline()
       const;
+
+  /// Shared, lazily built word-parallel timeline (see WordDeltaTimeline):
+  /// one active-interval walk over the whole transition timeline, folded
+  /// into per-day word-XOR groups. Cached like transition_timeline(), so
+  /// the fold cost is paid once per trace no matter how many replay
+  /// cursors, windows or grid cells consume it.
+  std::shared_ptr<const WordDeltaTimeline> word_delta_timeline() const;
+
+  /// Grid-aligned variant: the exact-day groups folded onto the sample grid
+  /// of `step_days` — one group per sample day with a net change, so a
+  /// replay cursor bound to it applies at most ONE group per sample instead
+  /// of re-folding every transition day in the step on every advance, for
+  /// every cursor (the fold is paid once per trace x step and shared by all
+  /// windows and grid cells). Groups after the last sample day keep their
+  /// exact days. The folded masks are only correct ON the grid; the cursor
+  /// constructor taking a step documents the contract. Cached per distinct
+  /// step like the exact timeline.
+  std::shared_ptr<const WordDeltaTimeline> word_delta_timeline(
+      double step_days) const;
 
   /// Fault-node-ratio time series sampled every `step_days`.
   TimeSeries ratio_series(double step_days = 1.0) const;

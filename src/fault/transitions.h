@@ -4,56 +4,114 @@
 // FaultTrace::faulty_at(day) rebuilds the whole mask by scanning events at
 // every sample; between two consecutive sample days, though, only the
 // handful of nodes with a transition in that interval actually change. The
-// FaultMaskCursor walks the trace's sorted transition timeline once,
-// applying deltas as it advances, and reports exactly which nodes flipped —
-// the masks it exposes are bit-identical to faulty_at() at every day.
+// FaultMaskCursor advances over the trace's transition structure and
+// reports exactly what flipped — the masks it exposes are bit-identical to
+// faulty_at() at every day.
+//
+// The cursor speaks both delta currencies through two independent engines:
+//   * advance_to() is the classic per-node pipeline (PRs 4-5): it walks the
+//     sorted transition timeline, counts active fault intervals per node,
+//     and reports a sorted flip list. Kept intact as the --packed 0 oracle
+//     tier.
+//   * advance_to_words() is the word-parallel core: it consumes the trace's
+//     pre-folded WordDeltaTimeline (per-day net word-XOR groups, cached
+//     once per trace), so advancing a sample step is a few word XORs —
+//     no per-node work at all — and emits {word_index, xor_bits} spans.
+// Both engines maintain the packed mask; the vector<bool> view is synced
+// lazily so the word path never pays for it.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "src/fault/packed_mask.h"
 #include "src/fault/trace.h"
 
 namespace ihbd::fault {
 
-/// Forward-only cursor over a trace's transition timeline.
+/// Forward-only cursor over a trace's transitions.
 ///
-/// advance_to(day) applies every transition with `transition.day <= day`
-/// (monotonically non-decreasing days across calls) and returns the nodes
-/// whose faulty bit actually flipped since the previous position —
-/// deduplicated and net of cancelling transitions, so a zero-length event
-/// or a same-day down+up pair reports nothing. Because a node is faulty
-/// while its count of active fault intervals is positive, mask() equals
-/// trace.faulty_at(day) bit-for-bit, including on overlapping events and on
-/// FaultTrace::slice sub-traces (within the sliced day range).
+/// Both advance entry points apply every transition with
+/// `transition.day <= day` and report the net effect since the previous
+/// position — deduplicated and net of cancelling transitions, so a
+/// zero-length event or a same-day down+up pair reports nothing. Because a
+/// node is faulty while its count of active fault intervals is positive,
+/// mask() / packed_mask() equal trace.faulty_at(day) bit-for-bit, including
+/// on overlapping events and on FaultTrace::slice sub-traces (within the
+/// sliced day range). The entry points may be mixed on one cursor: each
+/// engine lazily catches its position up past days the other already
+/// applied.
+///
+/// Contract: the cursor is forward-only. `day` must be monotonically
+/// non-decreasing across advance calls (NaN is rejected too); a smaller day
+/// would skip already-applied transitions and silently misapply the
+/// timeline, so it aborts via IHBD_EXPECTS instead. Rewinding means
+/// constructing a fresh cursor.
 class FaultMaskCursor {
  public:
-  /// Binds to trace.transition_timeline(), so cursors over the same trace
-  /// (all windows of a replay, all cells of a grid) share one sorted
-  /// timeline instead of re-sorting per cursor.
+  /// Binds to trace.transition_timeline() and trace.word_delta_timeline(),
+  /// so cursors over the same trace (all windows of a replay, all cells of
+  /// a grid) share one sorted timeline and one word-delta fold.
   explicit FaultMaskCursor(const FaultTrace& trace);
 
+  /// Grid-aligned cursor: binds the word engine to
+  /// trace.word_delta_timeline(grid_step_days), whose groups are pre-folded
+  /// per sample day — each replay sample then applies at most one group (the
+  /// per-step fold is paid once per trace x step, not once per cursor x
+  /// sample). Contract: every advance, through either entry point, must
+  /// land on a day of trace.sample_days(grid_step_days); between grid points
+  /// the word engine's mask would lag transitions already visible to
+  /// faulty_at(). The replay drivers (src/topo/waste.cc) sample strictly on
+  /// that grid, which is the intended user.
+  FaultMaskCursor(const FaultTrace& trace, double grid_step_days);
+
   /// Advance to `day` (must be >= the previous call's day). Returns the
-  /// nodes whose faulty bit flipped, ascending; valid until the next call.
+  /// net flips folded into per-word XOR spans: word indices strictly
+  /// ascending, every xor_bits nonzero. Valid until the next advance call.
+  const std::vector<WordDelta>& advance_to_words(double day);
+
+  /// Advance to `day` (must be >= the previous call's day). Returns the
+  /// nodes whose faulty bit flipped, ascending; valid until the next
+  /// advance call.
   const std::vector<int>& advance_to(double day);
 
-  /// Current fault mask; equals trace.faulty_at(day()) after advance_to.
-  const std::vector<bool>& mask() const { return mask_; }
+  /// Current fault mask; equals trace.faulty_at(day()) after an advance.
+  /// Synced lazily after word-path advances (first call pays one O(N)
+  /// unpack; pure flip-list use never resyncs).
+  const std::vector<bool>& mask() const;
 
-  /// The day of the last advance_to (-inf before the first call).
+  /// Packed view of the same mask; always current whichever advance entry
+  /// point is used.
+  const PackedMask& packed_mask() const { return packed_; }
+
+  /// The day of the last advance (-inf before the first call).
   double day() const { return day_; }
 
-  /// Transitions not yet applied (the timeline has 2 * events() edges).
-  std::size_t remaining() const { return timeline_->size() - next_; }
+  /// Transitions with day > day(): not yet applied through either entry
+  /// point. O(log E) on the sorted timeline, exact in mixed use too.
+  std::size_t remaining() const;
 
  private:
+  FaultMaskCursor(const FaultTrace& trace,
+                  std::shared_ptr<const WordDeltaTimeline> words);
+
+  void sync_mask() const;
+
   std::shared_ptr<const std::vector<FaultTransition>> timeline_;
-  std::size_t next_ = 0;           // first unapplied timeline entry
-  std::vector<int> active_;        // active fault intervals per node
-  std::vector<bool> mask_;         // active_[i] > 0
-  std::vector<int> flipped_;       // result buffer for advance_to
-  std::vector<int> touched_;       // scratch: nodes hit in current batch
-  std::vector<char> touch_stamp_;  // scratch: membership flag for touched_
+  std::shared_ptr<const WordDeltaTimeline> words_;
+  std::size_t next_ = 0;   // per-node engine: first unapplied timeline edge
+  std::size_t gnext_ = 0;  // word engine: first unapplied delta group
+  std::vector<int> active_;          // per-node engine: active intervals
+  PackedMask packed_;                // current mask, packed (always current)
+  mutable std::vector<bool> mask_;   // lazily synced vector<bool> view
+  mutable bool mask_synced_ = true;
+  std::vector<WordDelta> deltas_;    // result buffer for advance_to_words
+  std::vector<int> flipped_;         // result buffer for advance_to
+  std::vector<int> touched_;         // scratch: nodes hit in current batch
+  std::vector<char> touch_stamp_;    // scratch: membership flag for touched_
+  std::vector<std::uint64_t> word_xor_;  // scratch: per-word XOR accumulator
+  std::vector<int> dirty_words_;     // scratch: words hit in current batch
+  std::vector<char> word_stamp_;     // scratch: membership for dirty_words_
   double day_;
 };
 

@@ -27,11 +27,14 @@ void tile_pool(const std::vector<int>& healthy_nodes, int m,
   result.wasted_healthy_gpus += (len % m) * gpus_per_node;
 }
 
-int count_faulty_gpus(const std::vector<bool>& faulty, int gpus_per_node) {
-  int f = 0;
-  for (bool b : faulty)
-    if (b) f += gpus_per_node;
-  return f;
+/// Healthy nodes of [begin, end) in ascending order.
+std::vector<int> healthy_in_range(const fault::PackedMask& faulty, int begin,
+                                  int end) {
+  std::vector<int> healthy;
+  healthy.reserve(static_cast<std::size_t>(end - begin));
+  for (int i = begin; i < end; ++i)
+    if (!faulty.test(i)) healthy.push_back(i);
+  return healthy;
 }
 
 }  // namespace
@@ -44,16 +47,14 @@ BigSwitch::BigSwitch(int node_count, int gpus_per_node)
     throw ConfigError("BigSwitch: positive node and GPU counts required");
 }
 
-Allocation BigSwitch::allocate(const std::vector<bool>& faulty,
+Allocation BigSwitch::allocate(const fault::PackedMask& faulty,
                                int tp_size_gpus) const {
   const int m = check_args(faulty, tp_size_gpus);
   Allocation result;
   result.total_gpus = total_gpus();
-  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
-  std::vector<int> healthy;
-  for (int i = 0; i < node_count_; ++i)
-    if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
-  tile_pool(healthy, m, gpus_per_node_, result);
+  result.faulty_gpus = faulty.popcount() * gpus_per_node_;
+  tile_pool(healthy_in_range(faulty, 0, node_count_), m, gpus_per_node_,
+            result);
   return result;
 }
 
@@ -76,25 +77,26 @@ std::string NvlSwitch::name() const {
   return "NVL-" + std::to_string(hbd_gpus_);
 }
 
-Allocation NvlSwitch::allocate(const std::vector<bool>& faulty,
+Allocation NvlSwitch::allocate(const fault::PackedMask& faulty,
                                int tp_size_gpus) const {
   const int m = check_args(faulty, tp_size_gpus);
   Allocation result;
   result.total_gpus = total_gpus();
-  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+  result.faulty_gpus = faulty.popcount() * gpus_per_node_;
 
   const IslandPartition islands = island_partition();
   for (int isl = 0; isl < islands.full_island_count(); ++isl) {
-    std::vector<int> healthy;
-    for (int i = islands.island_begin(isl); i < islands.island_end(isl); ++i)
-      if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+    const int begin = islands.island_begin(isl);
+    const int end = islands.island_end(isl);
     if (tp_size_gpus > hbd_gpus_) {
-      // TP cannot span NVL islands: the whole island is unusable.
+      // TP cannot span NVL islands: the whole island is unusable. No group
+      // enumeration needed, so the healthy count is a masked popcount.
       result.wasted_healthy_gpus +=
-          static_cast<int>(healthy.size()) * gpus_per_node_;
+          (end - begin - faulty.popcount_range(begin, end)) * gpus_per_node_;
       continue;
     }
-    tile_pool(healthy, m, gpus_per_node_, result);
+    tile_pool(healthy_in_range(faulty, begin, end), m, gpus_per_node_,
+              result);
   }
   return result;
 }
@@ -114,21 +116,20 @@ TpuV4::TpuV4(int node_count, int gpus_per_node, int cube_gpus)
     throw ConfigError("cluster size must be a multiple of the cube size");
 }
 
-Allocation TpuV4::allocate(const std::vector<bool>& faulty,
+Allocation TpuV4::allocate(const fault::PackedMask& faulty,
                            int tp_size_gpus) const {
   const int m = check_args(faulty, tp_size_gpus);
   Allocation result;
   result.total_gpus = total_gpus();
-  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+  result.faulty_gpus = faulty.popcount() * gpus_per_node_;
 
   const IslandPartition cubes = island_partition();
   if (tp_size_gpus <= cube_gpus_) {
     // Per-cube fragmentation: a TP group lives inside one cube.
     for (int c = 0; c < cubes.full_island_count(); ++c) {
-      std::vector<int> healthy;
-      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
-        if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
-      tile_pool(healthy, m, gpus_per_node_, result);
+      tile_pool(healthy_in_range(faulty, cubes.island_begin(c),
+                                 cubes.island_end(c)),
+                m, gpus_per_node_, result);
     }
     return result;
   }
@@ -137,16 +138,14 @@ Allocation TpuV4::allocate(const std::vector<bool>& faulty,
   // any cube containing a fault is wasted entirely (cube explosion radius).
   std::vector<int> clean_pool;
   for (int c = 0; c < cubes.full_island_count(); ++c) {
-    bool clean = true;
-    for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
-      if (faulty[static_cast<std::size_t>(i)]) clean = false;
-    if (clean) {
-      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
-        clean_pool.push_back(i);
+    const int begin = cubes.island_begin(c);
+    const int end = cubes.island_end(c);
+    const int cube_faults = faulty.popcount_range(begin, end);
+    if (cube_faults == 0) {
+      for (int i = begin; i < end; ++i) clean_pool.push_back(i);
     } else {
-      for (int i = cubes.island_begin(c); i < cubes.island_end(c); ++i)
-        if (!faulty[static_cast<std::size_t>(i)])
-          result.wasted_healthy_gpus += gpus_per_node_;
+      result.wasted_healthy_gpus +=
+          (end - begin - cube_faults) * gpus_per_node_;
     }
   }
   tile_pool(clean_pool, m, gpus_per_node_, result);
@@ -161,37 +160,35 @@ SipRing::SipRing(int node_count, int gpus_per_node)
     throw ConfigError("SipRing: positive node and GPU counts required");
 }
 
-Allocation SipRing::allocate(const std::vector<bool>& faulty,
+Allocation SipRing::allocate(const fault::PackedMask& faulty,
                              int tp_size_gpus) const {
   const int m = check_args(faulty, tp_size_gpus);
   Allocation result;
   result.total_gpus = total_gpus();
-  result.faulty_gpus = count_faulty_gpus(faulty, gpus_per_node_);
+  result.faulty_gpus = faulty.popcount() * gpus_per_node_;
 
   // Static rings of exactly m consecutive nodes; trailing nodes that do not
   // fill a ring are structural fragmentation.
   const IslandPartition rings = ring_partition(m);
   for (int r = 0; r < rings.full_island_count(); ++r) {
-    std::vector<int> members;
-    bool broken = false;
-    for (int i = rings.island_begin(r); i < rings.island_begin(r) + m; ++i) {
-      if (faulty[static_cast<std::size_t>(i)]) broken = true;
-      else members.push_back(i);
-    }
-    if (broken) {
-      result.wasted_healthy_gpus +=
-          static_cast<int>(members.size()) * gpus_per_node_;
+    const int begin = rings.island_begin(r);
+    const int ring_faults = faulty.popcount_range(begin, begin + m);
+    if (ring_faults > 0) {
+      result.wasted_healthy_gpus += (m - ring_faults) * gpus_per_node_;
     } else {
       TpGroup group;
-      group.nodes = std::move(members);
+      group.nodes.resize(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i)
+        group.nodes[static_cast<std::size_t>(i)] = begin + i;
       result.groups.push_back(std::move(group));
       result.usable_gpus += m * gpus_per_node_;
     }
   }
-  for (int i = rings.island_begin(rings.full_island_count()); i < node_count_;
-       ++i)
-    if (!faulty[static_cast<std::size_t>(i)])
-      result.wasted_healthy_gpus += gpus_per_node_;
+  const int trail_begin = rings.island_begin(rings.full_island_count());
+  result.wasted_healthy_gpus +=
+      (node_count_ - trail_begin -
+       faulty.popcount_range(trail_begin, node_count_)) *
+      gpus_per_node_;
   return result;
 }
 

@@ -59,8 +59,9 @@ class BigSwitch : public HbdArchitecture {
   int gpus_per_node() const override { return gpus_per_node_; }
   /// One global island spanning the whole cluster.
   IslandPartition island_partition() const { return {node_count_, node_count_}; }
-  Allocation allocate(const std::vector<bool>& faulty,
+  Allocation allocate(const fault::PackedMask& faulty,
                       int tp_size_gpus) const override;
+  using HbdArchitecture::allocate;
 
  private:
   int node_count_;
@@ -83,8 +84,9 @@ class NvlSwitch : public HbdArchitecture {
   IslandPartition island_partition() const {
     return {node_count_, nodes_per_island()};
   }
-  Allocation allocate(const std::vector<bool>& faulty,
+  Allocation allocate(const fault::PackedMask& faulty,
                       int tp_size_gpus) const override;
+  using HbdArchitecture::allocate;
 
  private:
   int node_count_;
@@ -111,8 +113,9 @@ class TpuV4 : public HbdArchitecture {
   IslandPartition island_partition() const {
     return {node_count_, nodes_per_cube()};
   }
-  Allocation allocate(const std::vector<bool>& faulty,
+  Allocation allocate(const fault::PackedMask& faulty,
                       int tp_size_gpus) const override;
+  using HbdArchitecture::allocate;
 
  private:
   int node_count_;
@@ -134,8 +137,9 @@ class SipRing : public HbdArchitecture {
   IslandPartition ring_partition(int tp_nodes) const {
     return {node_count_, tp_nodes};
   }
-  Allocation allocate(const std::vector<bool>& faulty,
+  Allocation allocate(const fault::PackedMask& faulty,
                       int tp_size_gpus) const override;
+  using HbdArchitecture::allocate;
 
  private:
   int node_count_;

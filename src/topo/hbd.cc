@@ -5,9 +5,9 @@
 
 namespace ihbd::topo {
 
-int HbdArchitecture::check_args(const std::vector<bool>& faulty,
+int HbdArchitecture::check_args(const fault::PackedMask& faulty,
                                 int tp_size_gpus) const {
-  if (static_cast<int>(faulty.size()) != node_count())
+  if (faulty.size() != node_count())
     throw ConfigError("fault mask size != node count");
   if (tp_size_gpus <= 0 || tp_size_gpus % gpus_per_node() != 0)
     throw ConfigError("TP size must be a positive multiple of GPUs/node");

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/packed_mask.h"
+
 namespace ihbd::topo {
 
 /// One placed TP group: the member nodes in ring order.
@@ -49,14 +51,24 @@ class HbdArchitecture {
   int total_gpus() const { return node_count() * gpus_per_node(); }
 
   /// Place as many TP groups of `tp_size_gpus` GPUs as the architecture
-  /// allows given `faulty` (one entry per node). `tp_size_gpus` must be a
-  /// positive multiple of gpus_per_node().
-  virtual Allocation allocate(const std::vector<bool>& faulty,
+  /// allows given `faulty` (one bit per node). `tp_size_gpus` must be a
+  /// positive multiple of gpus_per_node(). This packed overload is the
+  /// primary virtual: the replay core hands architectures PackedMasks
+  /// directly.
+  virtual Allocation allocate(const fault::PackedMask& faulty,
                               int tp_size_gpus) const = 0;
+
+  /// Compatibility adapter for vector<bool> callers (the serial oracle,
+  /// sweep drivers, tests): packs the mask and dispatches to the packed
+  /// overload. Derived classes re-expose it with
+  /// `using HbdArchitecture::allocate;`.
+  Allocation allocate(const std::vector<bool>& faulty, int tp_size_gpus) const {
+    return allocate(fault::PackedMask::from_bools(faulty), tp_size_gpus);
+  }
 
  protected:
   /// Shared precondition checks; returns GPUs-per-group node count m.
-  int check_args(const std::vector<bool>& faulty, int tp_size_gpus) const;
+  int check_args(const fault::PackedMask& faulty, int tp_size_gpus) const;
 };
 
 }  // namespace ihbd::topo

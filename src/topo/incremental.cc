@@ -1,6 +1,7 @@
 #include "src/topo/incremental.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "src/common/contracts.h"
@@ -12,9 +13,10 @@ namespace ihbd::topo {
 namespace {
 
 /// Incremental-allocator metrics (src/obs): how often each KHop flip tier
-/// fires, memoizing-fallback behaviour, and per-island flip volume. All
-/// recording sits behind obs::enabled() so the allocators' O(1)/O(log N)
-/// hot paths are unperturbed by default.
+/// fires, memoizing-fallback behaviour, per-island flip volume, and the
+/// dirty-word traffic of the packed path. All recording sits behind
+/// obs::enabled() so the allocators' O(1)/O(log N) hot paths are
+/// unperturbed by default.
 struct AllocObs {
   obs::Counter& khop_residue_step;   ///< tier 1: unbroken-ring residue step
   obs::Counter& khop_arc_patch;      ///< tier 2: arc-interior length patch
@@ -22,6 +24,7 @@ struct AllocObs {
   obs::Counter& memo_realloc;        ///< memoizing fallback full reallocs
   obs::Counter& memo_hits;           ///< memoizing fallback cache hits
   obs::Counter& island_flips;        ///< per-island O(1) flips applied
+  obs::Counter& dirty_words;         ///< word deltas consumed by apply_words
 };
 
 AllocObs& alloc_obs() {
@@ -30,11 +33,39 @@ AllocObs& alloc_obs() {
                     obs::counter("alloc.khop.general_window"),
                     obs::counter("alloc.memo.reallocs"),
                     obs::counter("alloc.memo.hits"),
-                    obs::counter("alloc.island.flips")};
+                    obs::counter("alloc.island.flips"),
+                    obs::counter("alloc.dirty_words")};
   return o;
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// IncrementalAllocator: default apply_words -> apply adapter
+// ---------------------------------------------------------------------------
+
+const Allocation& IncrementalAllocator::apply_words(
+    const fault::PackedMask& mask,
+    const std::vector<fault::WordDelta>& deltas) {
+  adapter_flips_.clear();
+  if (!adapter_initialized_ ||
+      static_cast<int>(adapter_mask_.size()) != mask.size()) {
+    adapter_mask_ = mask.to_bools();
+    adapter_initialized_ = true;
+  } else {
+    for (const fault::WordDelta& d : deltas) {
+      fault::for_each_set_bit(d.xor_bits, d.word, [&](int x) {
+        // Resync from `mask` instead of blind XOR: spurious delta bits
+        // (whose word already matches) then leave the mirror untouched.
+        const bool v = mask.test(x);
+        if (adapter_mask_[static_cast<std::size_t>(x)] == v) return;
+        adapter_mask_[static_cast<std::size_t>(x)] = v;
+        adapter_flips_.push_back(x);
+      });
+    }
+  }
+  return apply(adapter_mask_, adapter_flips_);
+}
 
 // ---------------------------------------------------------------------------
 // MemoizingAllocator
@@ -52,6 +83,31 @@ const Allocation& MemoizingAllocator::apply(const std::vector<bool>& mask,
   if (!initialized_ || !flipped.empty()) {
     alloc_ = arch_.allocate(mask, tp_size_gpus_);
     initialized_ = true;
+    cached_mask_ = fault::PackedMask{};  // packed cache no longer current
+    if (obs::enabled()) alloc_obs().memo_realloc.add(1);
+  } else if (obs::enabled()) {
+    alloc_obs().memo_hits.add(1);
+  }
+  return alloc_;
+}
+
+const Allocation& MemoizingAllocator::apply_words(
+    const fault::PackedMask& mask,
+    const std::vector<fault::WordDelta>& deltas) {
+  // Spurious-delta filtering is a word compare against the cached mask.
+  bool changed = !initialized_ || cached_mask_.size() != mask.size();
+  if (!changed) {
+    for (const fault::WordDelta& d : deltas) {
+      if (mask.word(d.word) != cached_mask_.word(d.word)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (changed) {
+    alloc_ = arch_.allocate(mask, tp_size_gpus_);
+    cached_mask_ = mask;
+    initialized_ = true;
     if (obs::enabled()) alloc_obs().memo_realloc.add(1);
   } else if (obs::enabled()) {
     alloc_obs().memo_hits.add(1);
@@ -63,9 +119,14 @@ const Allocation& MemoizingAllocator::apply(const std::vector<bool>& mask,
 // KHopRingIncrementalAllocator
 //
 // Invariants (mirroring KHopRing::healthy_arcs exactly):
-//   * faulty_ / fenwick_ / healthy_count_ track the healthy node set, and
-//     prev_/next_ link the healthy nodes into a circular list (entries for
-//     faulty nodes are stale until they come back up).
+//   * healthy_ (set bit = healthy node) / fenwick_ / healthy_count_ track
+//     the healthy node set, and prev_/next_ link the healthy nodes into a
+//     circular list (entries for faulty nodes are stale until they come
+//     back up).
+//   * fenwick_ is word-granular: leaf w holds popcount(healthy_.word(w)),
+//     so healthy_prefix(i) is a tree walk over i/64 words plus one masked
+//     popcount of the word containing i — and a flip updates the single
+//     leaf of its word.
 //   * cuts_ holds every healthy position p whose link to the next healthy
 //     node s (clockwise, wrapping) is NOT bypassable: the faulty gap
 //     between them exceeds K-1 hops, or it is the wrap link of the line
@@ -83,8 +144,8 @@ const Allocation& MemoizingAllocator::apply(const std::vector<bool>& mask,
 // and x only. Every affected arc therefore lies between the nearest
 // *persistent* cuts around the neighborhood (cA counterclockwise of p, cB
 // clockwise of x); flip() subtracts the arcs in that window, mutates the
-// structures, and re-adds the window's arcs — O(log N) per flip. When no
-// persistent cut exists the whole ring holds at most three arcs and is
+// structures, and re-adds the window's arcs — O(log(N/64)) per flip. When
+// no persistent cut exists the whole ring holds at most three arcs and is
 // re-accumulated globally at the same cost.
 // ---------------------------------------------------------------------------
 
@@ -96,23 +157,29 @@ KHopRingIncrementalAllocator::KHopRingIncrementalAllocator(const KHopRing& ring,
   m_ = tp_size_gpus / ring.gpus_per_node();
 }
 
-void KHopRingIncrementalAllocator::fenwick_add(int i, int delta) {
-  for (++i; i <= n_; i += i & -i) fenwick_[static_cast<std::size_t>(i)] += delta;
+void KHopRingIncrementalAllocator::fenwick_word_add(int w, int delta) {
+  const int words = static_cast<int>(fenwick_.size()) - 1;
+  for (++w; w <= words; w += w & -w)
+    fenwick_[static_cast<std::size_t>(w)] += delta;
 }
 
 int KHopRingIncrementalAllocator::healthy_prefix(int i) const {
-  int s = 0;
-  for (++i; i > 0; i -= i & -i) s += fenwick_[static_cast<std::size_t>(i)];
+  const int w = i / fault::PackedMask::kWordBits;
+  const int r = i % fault::PackedMask::kWordBits;
+  // Low r+1 bits of the word containing i, plus full words before it.
+  int s = std::popcount(healthy_.word(w) &
+                        (~std::uint64_t{0} >>
+                         (fault::PackedMask::kWordBits - 1 - r)));
+  for (int j = w; j > 0; j -= j & -j)
+    s += fenwick_[static_cast<std::size_t>(j)];
   return s;
 }
 
 int KHopRingIncrementalAllocator::next_healthy_of_faulty(int x) const {
-  // Walk the faulty run clockwise. Expected O(1 / healthy ratio) steps —
-  // faulty runs are short at realistic fault ratios, and masks dense
-  // enough to make this long have few healthy nodes changing hands anyway.
-  int s = x + 1 == n_ ? 0 : x + 1;
-  while (faulty_[static_cast<std::size_t>(s)]) s = s + 1 == n_ ? 0 : s + 1;
-  return s;
+  // Word-scan the packed healthy set clockwise, wrapping. Callers
+  // guarantee at least one healthy node exists.
+  const int s = healthy_.find_first_from(x + 1 == n_ ? 0 : x + 1);
+  return s >= 0 ? s : healthy_.find_first_from(0);
 }
 
 int KHopRingIncrementalAllocator::arc_len(int a, int b) const {
@@ -204,38 +271,49 @@ void KHopRingIncrementalAllocator::accumulate_all(int sign) {
   accumulate_window(c0, c0, sign);
 }
 
-void KHopRingIncrementalAllocator::rebuild(const std::vector<bool>& mask) {
-  faulty_.assign(static_cast<std::size_t>(n_), 0);
+void KHopRingIncrementalAllocator::rebuild_from_healthy() {
   prev_.assign(static_cast<std::size_t>(n_), 0);
   next_.assign(static_cast<std::size_t>(n_), 0);
-  fenwick_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  healthy_count_ = 0;
+  const int words = healthy_.word_count();
+  fenwick_.assign(static_cast<std::size_t>(words) + 1, 0);
+  // Linear-time Fenwick build: add each leaf into its parent once.
+  for (int j = 1; j <= words; ++j) {
+    fenwick_[static_cast<std::size_t>(j)] +=
+        std::popcount(healthy_.word(j - 1));
+    const int parent = j + (j & -j);
+    if (parent <= words)
+      fenwick_[static_cast<std::size_t>(parent)] +=
+          fenwick_[static_cast<std::size_t>(j)];
+  }
+  healthy_count_ = healthy_.popcount();
   cuts_.clear();
   wasted_nodes_ = 0;
-  std::vector<int> healthy;
-  healthy.reserve(static_cast<std::size_t>(n_));
-  for (int i = 0; i < n_; ++i) {
-    if (mask[static_cast<std::size_t>(i)]) {
-      faulty_[static_cast<std::size_t>(i)] = 1;
+  // Link the healthy nodes circularly and collect cuts, straight off the
+  // packed words. Cut keys come out ascending: stays sorted.
+  int first = -1;
+  int prev_node = -1;
+  fault::for_each_set_bit(healthy_, [&](int i) {
+    if (first < 0) {
+      first = i;
     } else {
-      healthy.push_back(i);
-      fenwick_add(i, +1);
-      ++healthy_count_;
+      next_[static_cast<std::size_t>(prev_node)] = i;
+      prev_[static_cast<std::size_t>(i)] = prev_node;
+      if (is_cut_link(prev_node, i)) cuts_.push_back(prev_node);
     }
-  }
-  for (std::size_t idx = 0; idx < healthy.size(); ++idx) {
-    const int p = healthy[idx];
-    const int s = healthy[(idx + 1) % healthy.size()];
-    next_[static_cast<std::size_t>(p)] = s;
-    prev_[static_cast<std::size_t>(s)] = p;
-    if (is_cut_link(p, s)) cuts_.push_back(p);  // p ascending: stays sorted
+    prev_node = i;
+  });
+  if (prev_node >= 0) {  // close the circle (self-link for a lone node)
+    next_[static_cast<std::size_t>(prev_node)] = first;
+    prev_[static_cast<std::size_t>(first)] = prev_node;
+    if (is_cut_link(prev_node, first)) cuts_.push_back(prev_node);
   }
   accumulate_all(+1);
   initialized_ = true;
 }
 
 void KHopRingIncrementalAllocator::flip(int x) {
-  const bool to_faulty = !faulty_[static_cast<std::size_t>(x)];
+  const bool to_faulty = healthy_.test(x);
+  const int xw = x / fault::PackedMask::kWordBits;
 
   // Lone-node transitions have no healthy neighbors to define links.
   // (Counted under the general tier: they rewrite cut structure wholesale.)
@@ -244,15 +322,15 @@ void KHopRingIncrementalAllocator::flip(int x) {
     alloc_obs().khop_general.add(1);
   if (to_faulty && healthy_count_ == 1) {
     accumulate_all(-1);
-    faulty_[static_cast<std::size_t>(x)] = 1;
-    fenwick_add(x, -1);
+    healthy_.set(x, false);
+    fenwick_word_add(xw, -1);
     healthy_count_ = 0;
     cuts_.clear();
     return;
   }
   if (!to_faulty && healthy_count_ == 0) {
-    faulty_[static_cast<std::size_t>(x)] = 0;
-    fenwick_add(x, +1);
+    healthy_.set(x, true);
+    fenwick_word_add(xw, +1);
     healthy_count_ = 1;
     prev_[static_cast<std::size_t>(x)] = x;
     next_[static_cast<std::size_t>(x)] = x;
@@ -263,8 +341,8 @@ void KHopRingIncrementalAllocator::flip(int x) {
 
   // Healthy neighbors of x, excluding x itself (ring order p -> x -> s with
   // only faulty nodes in between; p == s when only one other node exists).
-  // Down-flips read them off the linked list in O(1); up-flips walk the
-  // faulty run to the successor.
+  // Down-flips read them off the linked list in O(1); up-flips word-scan
+  // the packed healthy set to the successor.
   const int s = to_faulty ? next_[static_cast<std::size_t>(x)]
                           : next_healthy_of_faulty(x);
   const int p = to_faulty ? prev_[static_cast<std::size_t>(x)]
@@ -272,15 +350,15 @@ void KHopRingIncrementalAllocator::flip(int x) {
 
   // Structural mutations shared by all tiers below.
   const auto unlink_x = [&] {
-    faulty_[static_cast<std::size_t>(x)] = 1;
-    fenwick_add(x, -1);
+    healthy_.set(x, false);
+    fenwick_word_add(xw, -1);
     --healthy_count_;
     next_[static_cast<std::size_t>(p)] = s;
     prev_[static_cast<std::size_t>(s)] = p;
   };
   const auto link_x = [&] {
-    faulty_[static_cast<std::size_t>(x)] = 0;
-    fenwick_add(x, +1);
+    healthy_.set(x, true);
+    fenwick_word_add(xw, +1);
     ++healthy_count_;
     next_[static_cast<std::size_t>(p)] = x;
     prev_[static_cast<std::size_t>(x)] = p;
@@ -361,24 +439,56 @@ void KHopRingIncrementalAllocator::flip(int x) {
   }
 }
 
+void KHopRingIncrementalAllocator::fill_alloc() {
+  alloc_.total_gpus = ring_.total_gpus();
+  alloc_.faulty_gpus = (n_ - healthy_count_) * ring_.gpus_per_node();
+  alloc_.usable_gpus =
+      (healthy_count_ - wasted_nodes_) * ring_.gpus_per_node();
+  alloc_.wasted_healthy_gpus = wasted_nodes_ * ring_.gpus_per_node();
+}
+
 const Allocation& KHopRingIncrementalAllocator::apply(
     const std::vector<bool>& mask, const std::vector<int>& flipped) {
   IHBD_EXPECTS(static_cast<int>(mask.size()) == n_);
   if (!initialized_) {
-    rebuild(mask);
+    healthy_ = fault::PackedMask::from_bools(mask).complement();
+    rebuild_from_healthy();
   } else {
     for (const int x : flipped) {
       IHBD_EXPECTS(x >= 0 && x < n_);
       // Tolerate spurious entries: only apply genuine bit changes.
-      if (static_cast<bool>(faulty_[static_cast<std::size_t>(x)]) !=
-          mask[static_cast<std::size_t>(x)])
-        flip(x);
+      if (healthy_.test(x) == mask[static_cast<std::size_t>(x)]) flip(x);
     }
   }
-  alloc_.total_gpus = ring_.total_gpus();
-  alloc_.faulty_gpus = (n_ - healthy_count_) * ring_.gpus_per_node();
-  alloc_.usable_gpus = (healthy_count_ - wasted_nodes_) * ring_.gpus_per_node();
-  alloc_.wasted_healthy_gpus = wasted_nodes_ * ring_.gpus_per_node();
+  fill_alloc();
+  return alloc_;
+}
+
+const Allocation& KHopRingIncrementalAllocator::apply_words(
+    const fault::PackedMask& mask,
+    const std::vector<fault::WordDelta>& deltas) {
+  IHBD_EXPECTS(mask.size() == n_);
+  if (!initialized_) {
+    healthy_ = mask.complement();
+    rebuild_from_healthy();
+  } else {
+    for (const fault::WordDelta& d : deltas) {
+      IHBD_EXPECTS(d.word >= 0 && d.word < healthy_.word_count());
+      // Genuine changes only: our faulty word is the complement of the
+      // healthy word over the valid bits.
+      const std::uint64_t ours =
+          ~healthy_.word(d.word) & healthy_.valid_mask(d.word);
+      const std::uint64_t changed = mask.word(d.word) ^ ours;
+      if (changed == 0) continue;
+      if (obs::enabled()) alloc_obs().dirty_words.add(1);
+      // flip() interleaves Fenwick queries with cut/arc bookkeeping, so
+      // bits are applied one at a time — but all of a word's flips hit the
+      // same Fenwick leaf, and the word compare above already filtered
+      // the spurious ones.
+      fault::for_each_set_bit(changed, d.word, [&](int x) { flip(x); });
+    }
+  }
+  fill_alloc();
   return alloc_;
 }
 
@@ -393,7 +503,8 @@ const Allocation& KHopRingIncrementalAllocator::apply(
 //   * TPUv4 pooled (TP > cube), with npc nodes per cube:
 //       wasted = (healthy - clean_cubes * npc) + (clean_cubes * npc) % m
 //   * SiP-Ring: wasted = sum_{broken rings} (m - faults_r) + trailing_healthy
-// A flip touches exactly one island, so each update is O(1).
+// A flip touches exactly one island, so each update is O(1); seeding from a
+// full mask is one masked popcount per island.
 // ---------------------------------------------------------------------------
 
 PerIslandAllocatorBase::PerIslandAllocatorBase(const HbdArchitecture& arch,
@@ -405,39 +516,71 @@ PerIslandAllocatorBase::PerIslandAllocatorBase(const HbdArchitecture& arch,
   alloc_.total_gpus = arch.total_gpus();
 }
 
-const Allocation& PerIslandAllocatorBase::apply(
-    const std::vector<bool>& mask, const std::vector<int>& flipped) {
-  IHBD_EXPECTS(static_cast<int>(mask.size()) == n_);
-  if (!initialized_) {
-    faulty_.assign(static_cast<std::size_t>(n_), 0);
-    healthy_count_ = n_;
-    reset_islands();
-    for (int i = 0; i < n_; ++i) {
-      if (!mask[static_cast<std::size_t>(i)]) continue;
-      faulty_[static_cast<std::size_t>(i)] = 1;
-      --healthy_count_;
-      island_flip(i, /*to_faulty=*/true);
-    }
-    initialized_ = true;
-  } else {
-    for (const int x : flipped) {
-      IHBD_EXPECTS(x >= 0 && x < n_);
-      // Tolerate spurious entries: only apply genuine bit changes.
-      if (static_cast<bool>(faulty_[static_cast<std::size_t>(x)]) ==
-          mask[static_cast<std::size_t>(x)])
-        continue;
-      const bool to_faulty = !faulty_[static_cast<std::size_t>(x)];
-      faulty_[static_cast<std::size_t>(x)] = to_faulty ? 1 : 0;
-      healthy_count_ += to_faulty ? -1 : 1;
-      island_flip(x, to_faulty);
-      if (obs::enabled()) alloc_obs().island_flips.add(1);
-    }
-  }
+void PerIslandAllocatorBase::initialize_from(const fault::PackedMask& mask) {
+  faulty_ = mask;
+  healthy_count_ = n_ - mask.popcount();
+  init_islands(faulty_);
+  initialized_ = true;
+}
+
+const Allocation& PerIslandAllocatorBase::finish() {
   const int wasted = wasted_nodes();
   alloc_.faulty_gpus = (n_ - healthy_count_) * gpus_per_node_;
   alloc_.usable_gpus = (healthy_count_ - wasted) * gpus_per_node_;
   alloc_.wasted_healthy_gpus = wasted * gpus_per_node_;
   return alloc_;
+}
+
+const Allocation& PerIslandAllocatorBase::apply(
+    const std::vector<bool>& mask, const std::vector<int>& flipped) {
+  IHBD_EXPECTS(static_cast<int>(mask.size()) == n_);
+  if (!initialized_) {
+    initialize_from(fault::PackedMask::from_bools(mask));
+    return finish();
+  }
+  for (const int x : flipped) {
+    IHBD_EXPECTS(x >= 0 && x < n_);
+    // Tolerate spurious entries: only apply genuine bit changes.
+    const bool cur = faulty_.test(x);
+    if (cur == mask[static_cast<std::size_t>(x)]) continue;
+    faulty_.set(x, !cur);
+    healthy_count_ += cur ? 1 : -1;
+    island_flip(x, /*to_faulty=*/!cur);
+    if (obs::enabled()) alloc_obs().island_flips.add(1);
+  }
+  return finish();
+}
+
+const Allocation& PerIslandAllocatorBase::apply_words(
+    const fault::PackedMask& mask,
+    const std::vector<fault::WordDelta>& deltas) {
+  IHBD_EXPECTS(mask.size() == n_);
+  if (!initialized_) {
+    initialize_from(mask);
+    return finish();
+  }
+  for (const fault::WordDelta& d : deltas) {
+    IHBD_EXPECTS(d.word >= 0 && d.word < faulty_.word_count());
+    // Spurious-flip filtering is one word compare; the genuine flips split
+    // by direction with two ANDs.
+    const std::uint64_t changed = mask.word(d.word) ^ faulty_.word(d.word);
+    if (changed == 0) continue;
+    const std::uint64_t now_faulty = changed & mask.word(d.word);
+    const std::uint64_t now_healthy = changed ^ now_faulty;
+    healthy_count_ +=
+        std::popcount(now_healthy) - std::popcount(now_faulty);
+    faulty_.apply_xor(d.word, changed);
+    fault::for_each_set_bit(now_faulty, d.word,
+                            [&](int x) { island_flip(x, true); });
+    fault::for_each_set_bit(now_healthy, d.word,
+                            [&](int x) { island_flip(x, false); });
+    if (obs::enabled()) {
+      AllocObs& o = alloc_obs();
+      o.dirty_words.add(1);
+      o.island_flips.add(static_cast<std::uint64_t>(std::popcount(changed)));
+    }
+  }
+  return finish();
 }
 
 IslandModuloAllocator::IslandModuloAllocator(const HbdArchitecture& arch,
@@ -448,38 +591,61 @@ IslandModuloAllocator::IslandModuloAllocator(const HbdArchitecture& arch,
   // Modulo islands partition the cluster exactly; a trailing remainder
   // would need SiP-Ring-style special casing.
   IHBD_EXPECTS(islands_.node_count % islands_.nodes_per_island == 0);
+  island_of_.resize(static_cast<std::size_t>(islands_.node_count));
+  for (int i = 0; i < islands_.node_count; ++i)
+    island_of_[static_cast<std::size_t>(i)] = islands_.island_of(i);
+  residue_.resize(static_cast<std::size_t>(islands_.nodes_per_island) + 1);
+  for (int h = 0; h <= islands_.nodes_per_island; ++h)
+    residue_[static_cast<std::size_t>(h)] = h % m_;
 }
 
-void IslandModuloAllocator::reset_islands() {
-  island_healthy_.assign(
-      static_cast<std::size_t>(islands_.full_island_count()),
-      islands_.nodes_per_island);
-  wasted_nodes_ =
-      islands_.full_island_count() * (islands_.nodes_per_island % m_);
+void IslandModuloAllocator::init_islands(const fault::PackedMask& faulty) {
+  const int count = islands_.full_island_count();
+  island_healthy_.assign(static_cast<std::size_t>(count), 0);
+  wasted_nodes_ = 0;
+  for (int i = 0; i < count; ++i) {
+    const int healthy =
+        islands_.nodes_per_island -
+        faulty.popcount_range(islands_.island_begin(i), islands_.island_end(i));
+    island_healthy_[static_cast<std::size_t>(i)] = healthy;
+    wasted_nodes_ += healthy % m_;
+  }
 }
 
 void IslandModuloAllocator::island_flip(int node, bool to_faulty) {
   int& healthy = island_healthy_[static_cast<std::size_t>(
-      islands_.island_of(node))];
-  wasted_nodes_ -= healthy % m_;
-  healthy += to_faulty ? -1 : 1;
-  wasted_nodes_ += healthy % m_;
+      island_of_[static_cast<std::size_t>(node)])];
+  const int next = healthy + (to_faulty ? -1 : 1);
+  wasted_nodes_ += residue_[static_cast<std::size_t>(next)] -
+                   residue_[static_cast<std::size_t>(healthy)];
+  healthy = next;
 }
 
 TpuCubePoolAllocator::TpuCubePoolAllocator(const TpuV4& tpu, int tp_size_gpus)
     : PerIslandAllocatorBase(tpu, tp_size_gpus),
       cubes_(tpu.island_partition()) {
   IHBD_EXPECTS(tp_size_gpus > tpu.cube_gpus());
+  cube_of_.resize(static_cast<std::size_t>(cubes_.node_count));
+  for (int i = 0; i < cubes_.node_count; ++i)
+    cube_of_[static_cast<std::size_t>(i)] = cubes_.island_of(i);
 }
 
-void TpuCubePoolAllocator::reset_islands() {
-  cube_faulty_.assign(static_cast<std::size_t>(cubes_.full_island_count()),
-                      0);
-  clean_cubes_ = cubes_.full_island_count();
+void TpuCubePoolAllocator::init_islands(const fault::PackedMask& faulty) {
+  const int count = cubes_.full_island_count();
+  cube_faulty_.assign(static_cast<std::size_t>(count), 0);
+  clean_cubes_ = 0;
+  for (int c = 0; c < count; ++c) {
+    const int faults =
+        faulty.popcount_range(cubes_.island_begin(c), cubes_.island_end(c));
+    cube_faulty_[static_cast<std::size_t>(c)] = faults;
+    if (faults == 0) ++clean_cubes_;
+  }
 }
 
 void TpuCubePoolAllocator::island_flip(int node, bool to_faulty) {
-  int& faults = cube_faulty_[static_cast<std::size_t>(cubes_.island_of(node))];
+  int& faults =
+      cube_faulty_[static_cast<std::size_t>(
+          cube_of_[static_cast<std::size_t>(node)])];
   if (to_faulty) {
     if (faults++ == 0) --clean_cubes_;
   } else {
@@ -495,18 +661,30 @@ int TpuCubePoolAllocator::wasted_nodes() const {
 SipRingIncrementalAllocator::SipRingIncrementalAllocator(const SipRing& sip,
                                                          int tp_size_gpus)
     : PerIslandAllocatorBase(sip, tp_size_gpus),
-      rings_(sip.ring_partition(m_)) {}
+      rings_(sip.ring_partition(m_)) {
+  ring_of_.resize(static_cast<std::size_t>(rings_.node_count));
+  for (int i = 0; i < rings_.node_count; ++i)
+    ring_of_[static_cast<std::size_t>(i)] = rings_.island_of(i);
+}
 
-void SipRingIncrementalAllocator::reset_islands() {
-  ring_faulty_.assign(static_cast<std::size_t>(rings_.full_island_count()),
-                      0);
+void SipRingIncrementalAllocator::init_islands(
+    const fault::PackedMask& faulty) {
+  const int count = rings_.full_island_count();
+  ring_faulty_.assign(static_cast<std::size_t>(count), 0);
   broken_waste_nodes_ = 0;
-  trailing_healthy_ =
-      node_count() - rings_.full_island_count() * rings_.nodes_per_island;
+  for (int r = 0; r < count; ++r) {
+    const int begin = rings_.island_begin(r);
+    const int faults = faulty.popcount_range(begin, begin + m_);
+    ring_faulty_[static_cast<std::size_t>(r)] = faults;
+    if (faults > 0) broken_waste_nodes_ += m_ - faults;
+  }
+  const int trail_begin = rings_.island_begin(count);
+  trailing_healthy_ = node_count() - trail_begin -
+                      faulty.popcount_range(trail_begin, node_count());
 }
 
 void SipRingIncrementalAllocator::island_flip(int node, bool to_faulty) {
-  const int ring = rings_.island_of(node);
+  const int ring = ring_of_[static_cast<std::size_t>(node)];
   if (ring >= rings_.full_island_count()) {
     trailing_healthy_ += to_faulty ? -1 : 1;
     return;

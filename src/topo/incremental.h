@@ -4,8 +4,13 @@
 // day, but between consecutive samples only the nodes with a fault
 // transition change — usually none, sometimes a handful. An
 // IncrementalAllocator keeps the allocation state alive across samples and
-// updates it from the per-sample flip list a fault::FaultMaskCursor
-// produces:
+// updates it from the per-sample deltas a fault::FaultMaskCursor produces.
+// Deltas come in two currencies: the classic per-node flip list (apply())
+// and the word-parallel {word_index, xor_bits} spans of
+// FaultMaskCursor::advance_to_words (apply_words()) — the packed path
+// filters spurious flips with one word XOR, seeds per-island healthy
+// counts with masked popcounts, and batches KHop's Fenwick updates at word
+// granularity:
 //
 //   * MemoizingAllocator — generic fallback for any architecture: memoizes
 //     the last Allocation and re-runs allocate() only when at least one bit
@@ -13,9 +18,9 @@
 //     sub-day steps) cost O(1).
 //   * KHopRingIncrementalAllocator — true incremental implementation for
 //     the K-Hop Ring: maintains the healthy-arc decomposition (a Fenwick
-//     tree over healthy nodes plus the set of non-bypassable cut links)
-//     under single-node flips in O(log N) per flip, never rebuilding the
-//     full N-node arc walk.
+//     tree over healthy-popcounts per 64-node word plus the set of
+//     non-bypassable cut links) under single-node flips in O(log(N/64))
+//     per flip, never rebuilding the full N-node arc walk.
 //   * Per-island allocators for the baseline architectures (§6.1): every
 //     baseline decomposes into independent islands (the one Big-Switch
 //     domain, NVL HBDs, TPUv4 cubes, SiP-Ring's static TP-sized rings), so
@@ -28,15 +33,16 @@
 //
 // All implementations produce aggregate fields (total/faulty/usable/wasted
 // GPUs, and thus waste_ratio()) bit-identical to arch.allocate(mask, tp) on
-// the same mask. The true incremental implementations do not materialize
-// Allocation::groups (the replay metrics never read them);
-// MemoizingAllocator returns whatever the wrapped allocate() produced,
-// groups included.
+// the same mask, through either entry point. The true incremental
+// implementations do not materialize Allocation::groups (the replay metrics
+// never read them); MemoizingAllocator returns whatever the wrapped
+// allocate() produced, groups included.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "src/fault/packed_mask.h"
 #include "src/topo/baselines.h"
 #include "src/topo/hbd.h"
 #include "src/topo/khop_ring.h"
@@ -58,6 +64,24 @@ class IncrementalAllocator {
   /// call.
   virtual const Allocation& apply(const std::vector<bool>& mask,
                                   const std::vector<int>& flipped) = 0;
+
+  /// Word-parallel variant: `deltas` are the XOR spans since the previous
+  /// call (as reported by FaultMaskCursor::advance_to_words; spurious
+  /// entries whose word already matches `mask` are tolerated). The default
+  /// implementation adapts onto apply() by unpacking the deltas, so any
+  /// out-of-tree allocator stays correct; the in-tree allocators override
+  /// it to consume dirty words natively. Drive one allocator through one
+  /// entry point only — mixing apply() and apply_words() calls on the same
+  /// instance is unspecified.
+  virtual const Allocation& apply_words(
+      const fault::PackedMask& mask,
+      const std::vector<fault::WordDelta>& deltas);
+
+ private:
+  // Bool mirror for the default apply_words adapter.
+  std::vector<bool> adapter_mask_;
+  std::vector<int> adapter_flips_;
+  bool adapter_initialized_ = false;
 };
 
 /// Generic fallback: re-runs arch.allocate() only when the mask changed.
@@ -68,11 +92,15 @@ class MemoizingAllocator : public IncrementalAllocator {
 
   const Allocation& apply(const std::vector<bool>& mask,
                           const std::vector<int>& flipped) override;
+  const Allocation& apply_words(
+      const fault::PackedMask& mask,
+      const std::vector<fault::WordDelta>& deltas) override;
 
  private:
   const HbdArchitecture& arch_;
   int tp_size_gpus_;
   bool initialized_ = false;
+  fault::PackedMask cached_mask_;  // packed-path spurious-delta filter
   Allocation alloc_;
 };
 
@@ -85,6 +113,9 @@ class KHopRingIncrementalAllocator : public IncrementalAllocator {
 
   const Allocation& apply(const std::vector<bool>& mask,
                           const std::vector<int>& flipped) override;
+  const Allocation& apply_words(
+      const fault::PackedMask& mask,
+      const std::vector<fault::WordDelta>& deltas) override;
 
  private:
   // --- arc bookkeeping (see incremental.cc for the invariants) ---
@@ -101,20 +132,26 @@ class KHopRingIncrementalAllocator : public IncrementalAllocator {
   void add_arc(int len, int sign);
   void accumulate_window(int from_cut, int to_cut, int sign);
   void accumulate_all(int sign);
-  void fenwick_add(int i, int delta);
-  void rebuild(const std::vector<bool>& mask);
+  void fenwick_word_add(int w, int delta);
+  void rebuild_from_healthy();
   void flip(int x);
+  void fill_alloc();
 
   const KHopRing& ring_;
   int n_;                    // node count
   int m_;                    // nodes per TP group
   bool circular_;            // ring (true) vs line variant
   bool initialized_ = false;
-  std::vector<char> faulty_;
+  // Set bit = healthy node (the complement of the fault mask): arc lengths
+  // are masked popcounts and faulty-run walks are word scans.
+  fault::PackedMask healthy_;
   // Circular doubly-linked list over healthy nodes (entries of faulty
   // nodes are stale): O(1) neighbor lookup on down-flips.
   std::vector<int> prev_, next_;
-  std::vector<int> fenwick_; // healthy-indicator prefix sums (1-based)
+  // Fenwick tree over per-word healthy popcounts (1-based, one leaf per
+  // 64-node word): a word's worth of flips hits one leaf, and the tree is
+  // 64x smaller than the node-granular one it replaces.
+  std::vector<int> fenwick_;
   int healthy_count_ = 0;
   // Healthy positions p whose following link is a cut, sorted ascending.
   // A flat vector: cut sets are tiny on realistic fault ratios (a cut
@@ -127,15 +164,18 @@ class KHopRingIncrementalAllocator : public IncrementalAllocator {
   Allocation alloc_;
 };
 
-/// Shared frame for the per-island baseline allocators: owns the faulty
-/// bitmap and healthy count, filters spurious flip entries, routes genuine
-/// single-node flips to the derived class's island aggregate, and fills the
-/// Allocation aggregates from the derived wasted-node total (usable +
-/// wasted = healthy holds for every baseline).
+/// Shared frame for the per-island baseline allocators: owns the packed
+/// faulty bitmap and healthy count, filters spurious deltas with a word
+/// compare, routes genuine single-node flips to the derived class's island
+/// aggregate, and fills the Allocation aggregates from the derived
+/// wasted-node total (usable + wasted = healthy holds for every baseline).
 class PerIslandAllocatorBase : public IncrementalAllocator {
  public:
   const Allocation& apply(const std::vector<bool>& mask,
                           const std::vector<int>& flipped) final;
+  const Allocation& apply_words(
+      const fault::PackedMask& mask,
+      const std::vector<fault::WordDelta>& deltas) final;
 
  protected:
   /// `arch` must outlive the allocator; `tp_size_gpus` must be a positive
@@ -148,18 +188,23 @@ class PerIslandAllocatorBase : public IncrementalAllocator {
   int m_;  ///< nodes per TP group
 
  private:
-  /// Reset per-island state to the all-healthy cluster.
-  virtual void reset_islands() = 0;
+  /// Seed the per-island aggregates from a full fault mask (the healthy
+  /// count is already set in the base); implementations use masked
+  /// popcounts per island.
+  virtual void init_islands(const fault::PackedMask& faulty) = 0;
   /// Update the flipped node's island aggregate (the node's bit and the
   /// healthy count have already been updated in the base).
   virtual void island_flip(int node, bool to_faulty) = 0;
   /// Total healthy-but-unplaceable nodes over all islands.
   virtual int wasted_nodes() const = 0;
 
+  void initialize_from(const fault::PackedMask& mask);
+  const Allocation& finish();
+
   int n_;
   int gpus_per_node_;
   bool initialized_ = false;
-  std::vector<char> faulty_;
+  fault::PackedMask faulty_;
   int healthy_count_ = 0;
   Allocation alloc_;
 };
@@ -170,19 +215,23 @@ class PerIslandAllocatorBase : public IncrementalAllocator {
 /// healthy_i % m nodes — which also covers TP groups larger than the island
 /// (healthy_i < m, so the residue is the whole island's healthy count, the
 /// "TP cannot span islands" rule) — so a flip updates one island's residue
-/// in O(1). Requires an exact partition (no trailing remainder).
+/// in O(1).  Requires an exact partition (no trailing remainder).
 class IslandModuloAllocator : public PerIslandAllocatorBase {
  public:
   IslandModuloAllocator(const HbdArchitecture& arch, IslandPartition islands,
                         int tp_size_gpus);
 
  private:
-  void reset_islands() override;
+  void init_islands(const fault::PackedMask& faulty) override;
   void island_flip(int node, bool to_faulty) override;
   int wasted_nodes() const override { return wasted_nodes_; }
 
   IslandPartition islands_;
   std::vector<int> island_healthy_;
+  // Flip-path divisions traded for L1 lookups: node -> island, and
+  // healthy -> healthy % m over the whole [0, nodes_per_island] range.
+  std::vector<int> island_of_;
+  std::vector<int> residue_;
   int wasted_nodes_ = 0;
 };
 
@@ -198,11 +247,12 @@ class TpuCubePoolAllocator : public PerIslandAllocatorBase {
   TpuCubePoolAllocator(const TpuV4& tpu, int tp_size_gpus);
 
  private:
-  void reset_islands() override;
+  void init_islands(const fault::PackedMask& faulty) override;
   void island_flip(int node, bool to_faulty) override;
   int wasted_nodes() const override;
 
   IslandPartition cubes_;
+  std::vector<int> cube_of_;      ///< node -> cube (flip-path div removal)
   std::vector<int> cube_faulty_;  ///< faulty-node count per cube
   int clean_cubes_ = 0;
 };
@@ -217,13 +267,14 @@ class SipRingIncrementalAllocator : public PerIslandAllocatorBase {
   SipRingIncrementalAllocator(const SipRing& sip, int tp_size_gpus);
 
  private:
-  void reset_islands() override;
+  void init_islands(const fault::PackedMask& faulty) override;
   void island_flip(int node, bool to_faulty) override;
   int wasted_nodes() const override {
     return broken_waste_nodes_ + trailing_healthy_;
   }
 
   IslandPartition rings_;
+  std::vector<int> ring_of_;      ///< node -> ring (flip-path div removal)
   std::vector<int> ring_faulty_;  ///< faulty-node count per full ring
   int broken_waste_nodes_ = 0;    ///< sum over broken rings of (m - faults)
   int trailing_healthy_ = 0;

@@ -57,14 +57,14 @@ std::vector<int> KHopRing::neighbors(int node) const {
 }
 
 std::vector<HealthyArc> KHopRing::healthy_arcs(
-    const std::vector<bool>& faulty) const {
-  IHBD_EXPECTS(static_cast<int>(faulty.size()) == node_count_);
+    const fault::PackedMask& faulty) const {
+  IHBD_EXPECTS(faulty.size() == node_count_);
   const int n = node_count_;
 
   std::vector<int> healthy;
   healthy.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    if (!faulty[static_cast<std::size_t>(i)]) healthy.push_back(i);
+  fault::for_each_set_bit(faulty.complement(),
+                          [&](int i) { healthy.push_back(i); });
   if (healthy.empty()) return {};
 
   // Gap between consecutive healthy nodes (#faulty in between). Bypassable
@@ -114,13 +114,12 @@ std::vector<HealthyArc> KHopRing::healthy_arcs(
   return arcs;
 }
 
-Allocation KHopRing::allocate(const std::vector<bool>& faulty,
+Allocation KHopRing::allocate(const fault::PackedMask& faulty,
                               int tp_size_gpus) const {
   const int m = check_args(faulty, tp_size_gpus);
   Allocation result;
   result.total_gpus = total_gpus();
-  for (bool f : faulty)
-    if (f) result.faulty_gpus += gpus_per_node_;
+  result.faulty_gpus = faulty.popcount() * gpus_per_node_;
 
   for (const auto& arc : healthy_arcs(faulty)) {
     const int len = static_cast<int>(arc.nodes.size());

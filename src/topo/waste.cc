@@ -1,6 +1,7 @@
 #include "src/topo/waste.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -72,7 +73,7 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
                                         int tp_size_gpus,
                                         const std::vector<double>& days,
                                         const fault::SampleWindow& window,
-                                        bool keep_samples) {
+                                        bool keep_samples, bool packed) {
   IHBD_EXPECTS(window.begin + window.count <= days.size());
   IHBD_TRACE_SPAN("replay_window_scratch");
   const bool obs_on = obs::enabled();
@@ -82,8 +83,12 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
   frag.waste_acc.set_keep_samples(keep_samples);
   for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
     const double day = days[i];
-    const auto mask = trace.faulty_at(day);
-    const Allocation alloc = arch.allocate(mask, tp_size_gpus);
+    // Packed and bool masks hold the same bits, and the packed allocate()
+    // overloads restate the same integer arithmetic, so the two branches
+    // are bit-identical.
+    const Allocation alloc =
+        packed ? arch.allocate(trace.packed_faulty_at(day), tp_size_gpus)
+               : arch.allocate(trace.faulty_at(day), tp_size_gpus);
     const double waste = alloc.waste_ratio();
     frag.waste_ratio.push(day, waste);
     frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
@@ -103,7 +108,8 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
 TraceWindowFragment replay_trace_window_incremental(
     const HbdArchitecture& arch, const fault::FaultTrace& trace,
     int tp_size_gpus, const std::vector<double>& days,
-    const fault::SampleWindow& window, bool keep_samples) {
+    const fault::SampleWindow& window, double step_days, bool keep_samples,
+    bool packed) {
   IHBD_EXPECTS(window.begin + window.count <= days.size());
   IHBD_TRACE_SPAN("replay_window");
   const bool obs_on = obs::enabled();
@@ -116,23 +122,57 @@ TraceWindowFragment replay_trace_window_incremental(
   frag.waste_ratio.v.reserve(window.count);
   frag.usable_gpus.t.reserve(window.count);
   frag.usable_gpus.v.reserve(window.count);
-  fault::FaultMaskCursor cursor(trace);
+  // The packed tier samples strictly on the step grid, so its cursor binds
+  // to the grid-folded word-delta timeline: at most one pre-folded group
+  // per sample instead of re-folding the step's transition days on every
+  // advance of every window's cursor.
+  fault::FaultMaskCursor cursor =
+      packed ? fault::FaultMaskCursor(trace, step_days)
+             : fault::FaultMaskCursor(trace);
   // Every §6.1 architecture now gets a true incremental allocator (KHopRing
   // arcs, per-island aggregates for the baselines); only out-of-tree
   // architectures take the memoizing O(N)-per-transition fallback.
   const auto allocator = make_incremental_allocator(arch, tp_size_gpus);
-  for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
-    const double day = days[i];
-    // The cursor's mask equals trace.faulty_at(day) bit-for-bit, and the
-    // allocator's aggregates equal arch.allocate(mask, tp) on it, so this
-    // fragment matches replay_trace_window exactly.
-    const std::vector<int>& flipped = cursor.advance_to(day);
-    flips += flipped.size();
-    const Allocation& alloc = allocator->apply(cursor.mask(), flipped);
-    const double waste = alloc.waste_ratio();
-    frag.waste_ratio.push(day, waste);
-    frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
-    frag.waste_acc.add(waste);
+  if (packed) {
+    // Word-parallel pipeline: per-word XOR spans from the cursor straight
+    // into the allocator's dirty-word path. A sample with no deltas cannot
+    // change the allocation, so the previous aggregates are re-emitted
+    // without even the virtual call — identical values either way.
+    double waste = 0.0;
+    double usable = 0.0;
+    bool have_alloc = false;
+    for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
+      const double day = days[i];
+      const std::vector<fault::WordDelta>& deltas =
+          cursor.advance_to_words(day);
+      if (!have_alloc || !deltas.empty()) {
+        if (obs_on)
+          for (const fault::WordDelta& d : deltas)
+            flips += static_cast<std::uint64_t>(std::popcount(d.xor_bits));
+        const Allocation& alloc =
+            allocator->apply_words(cursor.packed_mask(), deltas);
+        waste = alloc.waste_ratio();
+        usable = static_cast<double>(alloc.usable_gpus);
+        have_alloc = true;
+      }
+      frag.waste_ratio.push(day, waste);
+      frag.usable_gpus.push(day, usable);
+      frag.waste_acc.add(waste);
+    }
+  } else {
+    for (std::size_t i = window.begin; i < window.begin + window.count; ++i) {
+      const double day = days[i];
+      // The cursor's mask equals trace.faulty_at(day) bit-for-bit, and the
+      // allocator's aggregates equal arch.allocate(mask, tp) on it, so this
+      // fragment matches replay_trace_window exactly.
+      const std::vector<int>& flipped = cursor.advance_to(day);
+      flips += flipped.size();
+      const Allocation& alloc = allocator->apply(cursor.mask(), flipped);
+      const double waste = alloc.waste_ratio();
+      frag.waste_ratio.push(day, waste);
+      frag.usable_gpus.push(day, static_cast<double>(alloc.usable_gpus));
+      frag.waste_acc.add(waste);
+    }
   }
   if (obs_on) {
     ReplayObs& o = replay_obs();
@@ -177,14 +217,16 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
       // The cursor walks the (shared, cached) transition timeline, so the
       // full trace is passed directly — no per-window slice needed.
       fragments[w] = replay_trace_window_incremental(
-          arch, trace, tp_size_gpus, days, window, options.keep_samples);
+          arch, trace, tp_size_gpus, days, window, options.step_days,
+          options.keep_samples, options.packed);
     } else {
       // Slicing bounds each worker's per-sample event scan to its own day
       // range.
       const fault::FaultTrace sliced = trace.slice(
           days[window.begin], days[window.begin + window.count - 1]);
       fragments[w] = replay_trace_window(arch, sliced, tp_size_gpus, days,
-                                         window, options.keep_samples);
+                                         window, options.keep_samples,
+                                         options.packed);
     }
   };
   if (workers == 1 || windows.size() <= 1) {

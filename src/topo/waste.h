@@ -17,9 +17,15 @@
 //     fault deltas, so samples with no transitions never re-allocate and
 //     KHopRing windows update their healthy-arc state in O(log N) per
 //     transition (see incremental.h).
-// All tiers produce bit-identical output for any thread count, window size
-// and incremental setting (when keep_samples is true; with it off the
-// summary degrades to moments identically in every tier).
+//   * options.packed (the default, composing with either tier above):
+//     masks travel as fault::PackedMask and deltas as per-word XOR spans —
+//     the incremental tier runs cursor.advance_to_words() into
+//     IncrementalAllocator::apply_words(), the from-scratch tier allocates
+//     straight from trace.packed_faulty_at(). Off restores the
+//     vector<bool>/flip-list pipeline of PRs 4-5 for oracle comparisons.
+// All tiers produce bit-identical output for any thread count, window
+// size, incremental setting and packed setting (when keep_samples is true;
+// with it off the summary degrades to moments identically in every tier).
 #pragma once
 
 #include <cstddef>
@@ -67,6 +73,11 @@ struct TraceReplayOptions {
   /// instead of re-allocating from scratch at every sample. Bit-identical
   /// either way; off exists for oracle comparisons and CI diff jobs.
   bool incremental = true;
+  /// Run the replay word-parallel: packed masks and per-word XOR deltas
+  /// end-to-end (see packed_mask.h). Bit-identical either way; off
+  /// restores the per-node flip pipeline for oracle comparisons and CI
+  /// diff jobs.
+  bool packed = true;
 };
 
 /// One window's fragment of a trace replay. merge_next() appends the
@@ -89,7 +100,8 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
                                         int tp_size_gpus,
                                         const std::vector<double>& days,
                                         const fault::SampleWindow& window,
-                                        bool keep_samples = true);
+                                        bool keep_samples = true,
+                                        bool packed = true);
 
 /// Event-driven variant of replay_trace_window: advances a
 /// fault::FaultMaskCursor across the window's sample days and feeds the
@@ -97,11 +109,14 @@ TraceWindowFragment replay_trace_window(const HbdArchitecture& arch,
 /// Unlike the from-scratch variant this is normally handed the FULL trace
 /// (the cursor fast-forwards to the window start over the trace's shared
 /// cached timeline; no per-window slice is needed), though a slice
-/// covering the window also works.
+/// covering the window also works. `step_days` must be the step that
+/// produced `days` (= trace.sample_days(step_days)): the packed tier binds
+/// its cursor to the trace's grid-folded word-delta timeline for that step.
 TraceWindowFragment replay_trace_window_incremental(
     const HbdArchitecture& arch, const fault::FaultTrace& trace,
     int tp_size_gpus, const std::vector<double>& days,
-    const fault::SampleWindow& window, bool keep_samples = true);
+    const fault::SampleWindow& window, double step_days,
+    bool keep_samples = true, bool packed = true);
 
 /// Windowed parallel replay of `trace` against `arch` with TP size
 /// `tp_size_gpus`; see the header comment for the determinism contract.

@@ -1,10 +1,12 @@
 // Event-driven incremental replay (src/fault/transitions.h +
 // src/topo/incremental.h): transition-cursor semantics (zero-length events,
-// same-day up/down, overlapping intervals, slice boundaries), the KHopRing
-// incremental allocator's arc maintenance against allocate(), and the
-// randomized end-to-end property that the incremental replay is
-// bit-identical to the serial evaluate_waste_over_trace oracle across
-// architectures and TP sizes.
+// same-day up/down, overlapping intervals, slice boundaries, the
+// monotonicity contract, word-delta equivalence), the KHopRing incremental
+// allocator's arc maintenance against allocate(), the word-parallel
+// apply_words paths against the flip-list paths, and the randomized
+// end-to-end property that the incremental replay is bit-identical to the
+// serial evaluate_waste_over_trace oracle across architectures, TP sizes
+// and the packed toggle.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -14,6 +16,7 @@
 
 #include "src/common/rng.h"
 #include "src/fault/generator.h"
+#include "src/fault/packed_mask.h"
 #include "src/fault/trace.h"
 #include "src/fault/transitions.h"
 #include "src/topo/baselines.h"
@@ -112,6 +115,114 @@ TEST(FaultMaskCursor, ZeroLengthAndSameDayAndOverlappingEvents) {
     EXPECT_FALSE(cursor.mask()[static_cast<std::size_t>(node)]);
   // Repeated advance to the same day is a no-op.
   EXPECT_TRUE(cursor.advance_to(5.0).empty());
+}
+
+TEST(FaultMaskCursor, WordDeltasMatchFaultyAt) {
+  const auto trace = gen_trace(96, 45.0, 11);
+  fault::FaultMaskCursor cursor(trace);
+  fault::PackedMask replayed(trace.node_count());
+  for (const double day : trace.sample_days(0.25)) {
+    const auto& deltas = cursor.advance_to_words(day);
+    int prev_word = -1;
+    for (const auto& d : deltas) {
+      // Contract: ascending word index, nonzero XOR bits, no tail bits.
+      EXPECT_GT(d.word, prev_word) << "day " << day;
+      EXPECT_NE(d.xor_bits, 0u) << "day " << day;
+      prev_word = d.word;
+      replayed.apply_xor(d.word, d.xor_bits);
+    }
+    EXPECT_EQ(cursor.packed_mask(), trace.packed_faulty_at(day))
+        << "day " << day;
+    EXPECT_EQ(replayed, cursor.packed_mask()) << "day " << day;
+    // The bool mirror stays in sync with the packed mask.
+    EXPECT_EQ(cursor.mask(), cursor.packed_mask().to_bools()) << "day " << day;
+  }
+}
+
+TEST(FaultMaskCursor, GridAlignedCursorMatchesFaultyAt) {
+  // The grid constructor binds the word engine to the per-sample-day folded
+  // timeline (FaultTrace::word_delta_timeline(step)); on the grid it must
+  // be indistinguishable from the exact-day cursor — including a fresh
+  // cursor fast-forwarded to a mid-grid day, the window-start case where
+  // the whole prefix folds in one multi-group advance.
+  const auto trace = gen_trace(96, 45.0, 11);
+  for (const double step : {1.0, 0.25, 0.7}) {
+    SCOPED_TRACE(step);
+    const auto days = trace.sample_days(step);
+    fault::FaultMaskCursor cursor(trace, step);
+    for (const double day : days) {
+      const auto& deltas = cursor.advance_to_words(day);
+      int prev_word = -1;
+      for (const auto& d : deltas) {
+        EXPECT_GT(d.word, prev_word) << "day " << day;
+        EXPECT_NE(d.xor_bits, 0u) << "day " << day;
+        prev_word = d.word;
+      }
+      EXPECT_EQ(cursor.packed_mask(), trace.packed_faulty_at(day))
+          << "day " << day;
+    }
+    // Window start: jump a fresh grid cursor straight to the middle.
+    const double mid = days[days.size() / 2];
+    fault::FaultMaskCursor jumped(trace, step);
+    jumped.advance_to_words(mid);
+    EXPECT_EQ(jumped.packed_mask(), trace.packed_faulty_at(mid));
+    // Beyond the last grid day the exact-day tail groups still apply.
+    jumped.advance_to_words(std::numeric_limits<double>::max());
+    EXPECT_EQ(jumped.packed_mask().popcount(), 0);
+  }
+}
+
+TEST(FaultMaskCursor, EntryPointsInterleave) {
+  // Both advance entry points share one timeline walk, so a caller may mix
+  // them; each reports exactly the flips since the previous advance.
+  const auto trace = gen_trace(96, 45.0, 11);
+  fault::FaultMaskCursor words_cursor(trace);
+  fault::FaultMaskCursor mixed_cursor(trace);
+  bool use_words = false;
+  for (const double day : trace.sample_days(0.5)) {
+    words_cursor.advance_to_words(day);
+    if (use_words)
+      mixed_cursor.advance_to_words(day);
+    else
+      mixed_cursor.advance_to(day);
+    use_words = !use_words;
+    EXPECT_EQ(mixed_cursor.packed_mask(), words_cursor.packed_mask())
+        << "day " << day;
+    EXPECT_EQ(mixed_cursor.mask(), words_cursor.mask()) << "day " << day;
+  }
+}
+
+TEST(FaultMaskCursor, FlipListMatchesWordDeltaExpansion) {
+  const auto trace = gen_trace(64, 30.0, 19);
+  fault::FaultMaskCursor flips_cursor(trace);
+  fault::FaultMaskCursor words_cursor(trace);
+  for (const double day : trace.sample_days(1.0)) {
+    const std::vector<int> flipped = flips_cursor.advance_to(day);
+    std::vector<int> expanded;
+    for (const auto& d : words_cursor.advance_to_words(day))
+      fault::for_each_set_bit(d.xor_bits, d.word,
+                              [&](int i) { expanded.push_back(i); });
+    EXPECT_EQ(flipped, expanded) << "day " << day;
+  }
+}
+
+// The documented forward-only contract (transitions.h): a cursor cannot
+// rewind, and the violation must trip the IHBD_EXPECTS guard rather than
+// silently corrupt the mask.
+using FaultMaskCursorDeathTest = ::testing::Test;
+
+TEST(FaultMaskCursorDeathTest, RejectsNonMonotonicAdvance) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto trace = gen_trace(32, 20.0, 23);
+  fault::FaultMaskCursor cursor(trace);
+  cursor.advance_to(10.0);
+  EXPECT_DEATH(cursor.advance_to(9.5), "day >= day_");
+  EXPECT_DEATH(cursor.advance_to_words(0.0), "day >= day_");
+  // NaN never satisfies day >= day_, so it is rejected too.
+  EXPECT_DEATH(cursor.advance_to(std::numeric_limits<double>::quiet_NaN()),
+               "day >= day_");
+  // Equal day remains a legal no-op.
+  EXPECT_TRUE(cursor.advance_to(10.0).empty());
 }
 
 TEST(FaultMaskCursor, SliceBoundariesMatchTheFullTrace) {
@@ -357,6 +468,117 @@ TEST(BaselineIncremental, DispatchCoversEveryPaperArchitecture) {
   }
 }
 
+// --- word-parallel apply_words vs allocate() ------------------------------
+
+/// Flip `batch` random nodes of `mask` and return the net word deltas (a
+/// node flipped twice in one batch nets out of its word's XOR bits; a word
+/// whose bits all net out is dropped), exactly what a cursor would emit.
+std::vector<fault::WordDelta> random_word_batch(fault::PackedMask& mask,
+                                                int batch, Rng& rng) {
+  std::vector<std::uint64_t> xor_by_word(
+      static_cast<std::size_t>(mask.word_count()), 0);
+  for (int b = 0; b < batch; ++b) {
+    const int x = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(mask.size())));
+    xor_by_word[static_cast<std::size_t>(x / fault::PackedMask::kWordBits)] ^=
+        std::uint64_t{1} << (x % fault::PackedMask::kWordBits);
+  }
+  std::vector<fault::WordDelta> deltas;
+  for (int w = 0; w < mask.word_count(); ++w) {
+    const std::uint64_t bits = xor_by_word[static_cast<std::size_t>(w)];
+    if (bits == 0) continue;
+    mask.apply_xor(w, bits);
+    deltas.push_back({w, bits});
+  }
+  return deltas;
+}
+
+TEST(ApplyWords, RandomWordBatchesMatchAllocate) {
+  // Every allocator the dispatch hands out (KHop word-Fenwick, the
+  // per-island baselines, TPUv4's pooled regime) plus the memoizing
+  // fallback and the KHop allocator driven directly: word deltas in,
+  // aggregates bit-identical to a from-scratch allocate().
+  Rng rng(9999);
+  const int n = 144, g = 4;
+  std::vector<BaselineCase> cases;
+  for (const int tp : {8, 64, 128}) {
+    for (auto& c : baseline_cases(n, g, tp)) cases.push_back(std::move(c));
+    auto ring = std::make_unique<KHopRing>(n, g, 2);
+    auto ring_alloc = std::make_unique<KHopRingIncrementalAllocator>(*ring, tp);
+    cases.push_back({std::move(ring), std::move(ring_alloc), tp});
+    auto bs = std::make_unique<BigSwitch>(n, g);
+    auto memo = std::make_unique<MemoizingAllocator>(*bs, tp);
+    cases.push_back({std::move(bs), std::move(memo), tp});
+  }
+  for (auto& c : cases) {
+    fault::PackedMask mask(n);
+    for (int i = 0; i < n; ++i) mask.set(i, rng.bernoulli(0.15));
+    c.allocator->apply_words(mask, {});
+    for (int step = 0; step < 200; ++step) {
+      const int batch = 1 + static_cast<int>(rng.uniform_index(3));
+      const auto deltas = random_word_batch(mask, batch, rng);
+      const auto& got = c.allocator->apply_words(mask, deltas);
+      const auto want = c.arch->allocate(mask, c.tp);
+      expect_same_aggregates(got, want,
+                             c.arch->name() + " tp=" + std::to_string(c.tp) +
+                                 " step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(ApplyWords, ToleratesSpuriousDeltas) {
+  // A delta whose word already matches the mask (net-zero change) must be
+  // ignored, mirroring the flip-list paths' spurious-flip filtering.
+  const int n = 144, g = 4, tp = 32;
+  for (auto& c : baseline_cases(n, g, tp)) {
+    fault::PackedMask mask(n);
+    for (int x = 0; x < 9; ++x) mask.set(x, true);
+    c.allocator->apply_words(mask, {});
+    // Claim every word changed; none did.
+    std::vector<fault::WordDelta> spurious;
+    for (int w = 0; w < mask.word_count(); ++w)
+      spurious.push_back({w, mask.valid_mask(w)});
+    expect_same_aggregates(c.allocator->apply_words(mask, spurious),
+                           c.arch->allocate(mask, tp),
+                           c.arch->name() + " spurious");
+    // And a real change still lands after the spurious round.
+    mask.set(100, true);
+    expect_same_aggregates(
+        c.allocator->apply_words(
+            mask, {{100 / fault::PackedMask::kWordBits,
+                    std::uint64_t{1} << (100 % fault::PackedMask::kWordBits)}}),
+        c.arch->allocate(mask, tp), c.arch->name() + " post-spurious");
+  }
+}
+
+TEST(ApplyWords, DegenerateMasksMatchAllocate) {
+  const int n = 144, g = 4;
+  for (const int tp : {32, 128}) {
+    for (auto& c : baseline_cases(n, g, tp)) {
+      fault::PackedMask mask(n);
+      c.allocator->apply_words(mask, {});
+      // Whole words down at once (the worst-case delta density), then the
+      // whole cluster, then everything back up word by word.
+      for (int w = 0; w < mask.word_count(); ++w) {
+        const std::uint64_t bits = mask.valid_mask(w);
+        mask.apply_xor(w, bits);
+        expect_same_aggregates(c.allocator->apply_words(mask, {{w, bits}}),
+                               c.arch->allocate(mask, tp),
+                               c.arch->name() + " word-down " +
+                                   std::to_string(w));
+      }
+      for (int w = mask.word_count() - 1; w >= 0; --w) {
+        const std::uint64_t bits = mask.valid_mask(w);
+        mask.apply_xor(w, bits);
+        expect_same_aggregates(c.allocator->apply_words(mask, {{w, bits}}),
+                               c.arch->allocate(mask, tp),
+                               c.arch->name() + " word-up " +
+                                   std::to_string(w));
+      }
+    }
+  }
+}
+
 // --- end-to-end: incremental replay vs serial oracle ----------------------
 
 TEST(IncrementalReplay, BitIdenticalToSerialOracleAcrossArchitectures) {
@@ -373,15 +595,19 @@ TEST(IncrementalReplay, BitIdenticalToSerialOracleAcrossArchitectures) {
       for (const int tp : {8, 32, 64, 128}) {
         const auto serial = evaluate_waste_over_trace(*arch, trace, tp, 1.0);
         for (const std::size_t window : {1ul, 16ul, 0ul}) {
-          TraceReplayOptions opts;
-          opts.threads = 2;
-          opts.window_samples = window;
-          opts.incremental = true;
-          SCOPED_TRACE(arch->name() + " tp=" + std::to_string(tp) +
-                       " window=" + std::to_string(window) + " seed=" +
-                       std::to_string(seed));
-          expect_same_result(serial,
-                             evaluate_waste_over_trace(*arch, trace, tp, opts));
+          for (const bool packed : {false, true}) {
+            TraceReplayOptions opts;
+            opts.threads = 2;
+            opts.window_samples = window;
+            opts.incremental = true;
+            opts.packed = packed;
+            SCOPED_TRACE(arch->name() + " tp=" + std::to_string(tp) +
+                         " window=" + std::to_string(window) + " seed=" +
+                         std::to_string(seed) + " packed=" +
+                         std::to_string(packed));
+            expect_same_result(
+                serial, evaluate_waste_over_trace(*arch, trace, tp, opts));
+          }
         }
       }
     }

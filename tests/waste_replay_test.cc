@@ -109,15 +109,19 @@ TEST(WindowedReplay, BitIdenticalToSerialAcrossThreadsAndWindows) {
   for (int threads : {1, 2, 8}) {
     for (std::size_t window : {1ul, 3ul, 7ul, 64ul, 1000ul, 0ul}) {
       for (bool incremental : {false, true}) {
-        TraceReplayOptions opts;
-        opts.threads = threads;
-        opts.window_samples = window;
-        opts.incremental = incremental;
-        const auto windowed = evaluate_waste_over_trace(ring, trace, 8, opts);
-        SCOPED_TRACE("threads=" + std::to_string(threads) +
-                     " window=" + std::to_string(window) +
-                     " incremental=" + std::to_string(incremental));
-        expect_same_result(serial, windowed);
+        for (bool packed : {false, true}) {
+          TraceReplayOptions opts;
+          opts.threads = threads;
+          opts.window_samples = window;
+          opts.incremental = incremental;
+          opts.packed = packed;
+          const auto windowed = evaluate_waste_over_trace(ring, trace, 8, opts);
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " window=" + std::to_string(window) +
+                       " incremental=" + std::to_string(incremental) +
+                       " packed=" + std::to_string(packed));
+          expect_same_result(serial, windowed);
+        }
       }
     }
   }
