@@ -2,14 +2,13 @@
 // fraction of time a job of a given scale must wait for repairs because
 // usable GPUs fall below its requirement, over the production trace.
 //
-// The expensive part — replaying the 348-day trace per (TP, architecture)
-// pair — fans out across one work-stealing pool at BOTH levels: pairs are
-// mapped in parallel and each pair's windowed replay recruits idle workers
-// (nested parallel_for). Results are assembled in deterministic pair order,
-// so output is identical for any --threads value.
+// Runs on the generic sweep engine via the shared replay grid: each
+// (TP, arch) cell replays the trace in windows, cells and windows share one
+// work-stealing pool, and the tables stay bit-identical for any --threads
+// value (and across --shard-dir fleets — the grid carries the trace-waste
+// shard codec).
 #include "bench/bench_util.h"
 #include "bench/fault_bench_common.h"
-#include "src/runtime/thread_pool.h"
 
 using namespace ihbd;
 
@@ -19,49 +18,30 @@ int main(int argc, char** argv) {
 
   const auto trace = bench::make_sim_trace(opt.quick);
   const auto archs = bench::make_archs();
-  const std::vector<int> tps{8, 16, 32, 64};
 
-  // Flatten the (TP, arch) grid, skipping unsupported combinations.
-  struct Cell {
-    int tp;
-    const topo::HbdArchitecture* arch;
-  };
-  std::vector<Cell> grid;
-  for (int tp : tps)
-    for (const auto& arch : archs)
-      if (bench::arch_supports_tp(*arch, tp)) grid.push_back({tp, arch.get()});
+  // Only the usable-GPU series is read, so skip the waste samples.
+  const auto grid =
+      bench::replay_trace_grid(archs, trace, {8, 16, 32, 64}, opt.threads,
+                               /*keep_samples=*/false, opt.incremental,
+                               opt.packed);
 
-  const runtime::PoolRef pool(opt.threads);
-  const std::size_t window_samples =
-      bench::nested_window_samples(grid.size(), *pool);
-  const auto usable = runtime::parallel_map(
-      grid,
-      [&](const Cell& cell) {
-        topo::TraceReplayOptions ropts;
-        ropts.pool = pool.get();  // nested fan-out on the same pool
-        ropts.window_samples = window_samples;
-        ropts.keep_samples = false;  // only the usable series is read
-        ropts.incremental = opt.incremental;
-        ropts.packed = opt.packed;
-        return topo::evaluate_waste_over_trace(*cell.arch, trace, cell.tp,
-                                               ropts)
-            .usable_gpus;
-      },
-      *pool);
-
-  std::size_t next = 0;
-  for (int tp : tps) {
+  for (std::size_t t = 0; t < grid.spec.axes[0].size(); ++t) {
+    const int tp = static_cast<int>(grid.spec.axes[0].values[t]);
     Table table("TP-" + std::to_string(tp) + ": fault-waiting rate");
     std::vector<std::string> header{"Job scale (GPU)"};
-    const std::size_t begin = next;
-    for (; next < grid.size() && grid[next].tp == tp; ++next)
-      header.push_back(grid[next].arch->name());
+    std::vector<std::size_t> supported;
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      if (!bench::arch_supports_tp(*archs[a], tp)) continue;
+      header.push_back(archs[a]->name());
+      supported.push_back(a);
+    }
     table.set_header(header);
 
     for (int scale : {1920, 2176, 2432, 2560, 2688, 2816}) {
       std::vector<std::string> row{std::to_string(scale)};
-      for (std::size_t i = begin; i < next; ++i)
-        row.push_back(Table::pct(topo::fault_waiting_rate(usable[i], scale)));
+      for (const std::size_t a : supported)
+        row.push_back(Table::pct(
+            topo::fault_waiting_rate(grid.cell({t, a}).usable_gpus, scale)));
       table.add_row(row);
     }
     bench::emit(opt, "fig16_fault_waiting_tp" + std::to_string(tp), table);

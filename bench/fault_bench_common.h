@@ -4,6 +4,8 @@
 // production trace normalized from 8-GPU to 4-GPU nodes (Appendix A).
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -57,6 +59,35 @@ inline std::size_t nested_window_samples(std::size_t cell_count,
              : topo::TraceReplayOptions{}.window_samples;
 }
 
+/// Sweep-identity salt for a trace: two replay grids over different traces
+/// (quick 60-day vs full 348-day, different clusters) must never share a
+/// shard run directory entry even though their cell grids match, so the
+/// trace's shape is folded into SweepSpec::fingerprint_salt. FNV-1a over
+/// node count, duration bits, and every event's (node, start, end) bits.
+inline std::uint64_t trace_fingerprint(const fault::FaultTrace& trace) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_f64 = [&](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(trace.node_count()));
+  mix_f64(trace.duration_days());
+  mix(trace.events().size());
+  for (const auto& ev : trace.events()) {
+    mix(static_cast<std::uint64_t>(ev.node));
+    mix_f64(ev.start_day);
+    mix_f64(ev.end_day);
+  }
+  return h;
+}
+
 /// The (TP x architecture) trace-replay grid shared by Figs. 13, 15, 16 and
 /// 20, run on the generic sweep engine: one windowed trace replay per
 /// supported cell. BOTH fan-out levels share one work-stealing pool
@@ -67,7 +98,10 @@ inline std::size_t nested_window_samples(std::size_t cell_count,
 /// The replay is deterministic, so the grid is bit-identical for any thread
 /// count AND for any `incremental` x `packed` setting (event-driven
 /// cursor+allocator replay vs from-scratch re-allocation; word-parallel
-/// packed masks vs per-node flip lists; CI diffs all combinations).
+/// packed masks vs per-node flip lists; CI diffs all combinations). The
+/// attached trace_waste_codec makes the grid shardable: under an ambient
+/// shard::ShardContext (bench --shard-dir, ihbd-sweepd) the cells spread
+/// across the fleet and the reduced grid is byte-identical to a local run.
 inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
     const std::vector<std::unique_ptr<topo::HbdArchitecture>>& archs,
     const fault::FaultTrace& trace, std::vector<double> tps, int threads,
@@ -75,6 +109,7 @@ inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
   runtime::SweepSpec spec;
   spec.trials = 1;  // replay is deterministic; the grid itself is the work
   spec.keep_samples = keep_samples;
+  spec.fingerprint_salt = trace_fingerprint(trace);
   std::size_t supported_cells = 0;
   for (const double tp : tps)
     for (const auto& arch : archs)
@@ -105,7 +140,7 @@ inline runtime::GenericSweepResult<topo::TraceWasteResult> replay_trace_grid(
       [](topo::TraceWasteResult& acc, topo::TraceWasteResult&& replay) {
         acc = std::move(replay);
       },
-      /*threads=*/0, pool.get());
+      /*threads=*/0, pool.get(), &topo::trace_waste_codec());
 }
 
 /// True when a replay-grid cell actually ran (unsupported cells are empty).

@@ -48,22 +48,39 @@ def min_time_seconds() -> float:
 
 
 def summarize(results: list) -> dict:
+    # Quick-mode or partial harness runs may omit entries or fields; every
+    # lookup degrades gracefully (skip the entry) instead of raising, so
+    # the artifact is still written for whatever DID run.
     tiers = {}
-    for r in results:
+    skipped = 0
+    for r in results if isinstance(results, list) else []:
+        if not isinstance(r, dict):
+            skipped += 1
+            continue
         samples_per_s = r.get("counters", {}).get("samples/s")
         if samples_per_s is None:
             continue  # not a replay tier (no throughput counter)
-        tiers[r["name"]] = {
+        name = r.get("name")
+        ns_per_iter = r.get("ns_per_iter")
+        iterations = r.get("iterations")
+        if name is None or ns_per_iter is None or iterations is None:
+            skipped += 1
+            continue
+        tiers[name] = {
             "samples_per_s": round(samples_per_s, 1),
-            "ns_per_iter": round(r["ns_per_iter"], 1),
-            "iterations": r["iterations"],
+            "ns_per_iter": round(ns_per_iter, 1),
+            "iterations": iterations,
         }
+    if skipped:
+        print(f"warning: skipped {skipped} malformed harness entries")
     speedups = {}
     for packed, base in SPEEDUP_PAIRS.items():
         if packed in tiers and base in tiers:
+            base_rate = tiers[base]["samples_per_s"]
+            if base_rate <= 0:
+                continue
             speedups[f"{packed} vs {base}"] = round(
-                tiers[packed]["samples_per_s"] / tiers[base]["samples_per_s"],
-                2)
+                tiers[packed]["samples_per_s"] / base_rate, 2)
     min_time = min_time_seconds()
     return {
         "bench": "bench_replay_micro",

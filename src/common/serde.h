@@ -1,0 +1,138 @@
+// One common codec layer for every serialized artifact in the tree: the
+// JSON emission used by the observability exports (metrics snapshots,
+// Perfetto traces) and the binary wire format used by the distributed-sweep
+// stack (shard checkpoints, shard result files, fleet metrics snapshots).
+//
+// Binary encoding: little-endian fixed-width integers, IEEE doubles carried
+// by bit pattern (save -> load is bit-exact, including NaN payloads and
+// infinities), strings and arrays length-prefixed with u64 counts. A
+// Reader throws ConfigError on any underflow or malformed length, so a
+// truncated buffer can never silently decode into a short value.
+//
+// Durable files wrap their payload in a versioned, checksummed record frame
+// (frame_record / parse_record): magic + version + length + CRC-32. Readers
+// get a typed FrameStatus instead of garbage — the checkpoint layer
+// (src/runtime/checkpoint.h) uses it to fall back to the previous
+// generation when a kill left a torn write behind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace ihbd::serde {
+
+// --- JSON emission ----------------------------------------------------------
+
+/// Append `s` as a quoted JSON string literal (escaping quotes, backslashes
+/// and control characters).
+void json_append_string(std::string& out, std::string_view s);
+
+/// Append a JSON number. Finite doubles render with the shortest decimal
+/// form that round-trips to the same bits (so snapshot -> JSON -> snapshot
+/// is lossless); non-finite values render as null (JSON has no NaN/inf).
+void json_append_number(std::string& out, double v);
+void json_append_number(std::string& out, std::uint64_t v);
+
+// --- checksums --------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+std::uint32_t crc32(std::string_view bytes);
+
+// --- binary codec -----------------------------------------------------------
+
+/// Append-only binary encoder over an owned byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Bit-exact double: the IEEE bit pattern travels as a u64.
+  void f64(double v);
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s);
+  void f64_vec(const std::vector<double>& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential binary decoder over a borrowed byte range. Every accessor
+/// throws ConfigError on underflow; decode helpers validate length prefixes
+/// against the remaining bytes before allocating.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws ConfigError unless every byte has been consumed — catches a
+  /// payload longer than the decoder expects (version skew, corruption).
+  void expect_done(std::string_view what) const;
+
+ private:
+  std::string_view take(std::size_t n, const char* what);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- shared domain codecs ---------------------------------------------------
+// TimeSeries and Summary appear in every replay checkpoint/result payload
+// (via topo::TraceWasteResult), so their encodings live here with the
+// primitives rather than being restated by each consumer.
+
+void write_time_series(Writer& w, const TimeSeries& ts);
+TimeSeries read_time_series(Reader& r);
+
+void write_summary(Writer& w, const Summary& s);
+Summary read_summary(Reader& r);
+
+// --- versioned, checksummed record frame ------------------------------------
+
+enum class FrameStatus {
+  ok,
+  truncated,     ///< shorter than the header or the declared payload
+  bad_magic,     ///< not the expected file kind
+  bad_version,   ///< produced by an incompatible writer
+  bad_checksum,  ///< payload bytes do not match the recorded CRC-32
+};
+const char* to_string(FrameStatus status);
+
+/// Wrap `payload` in a frame: magic(u32) version(u32) length(u64)
+/// crc32(u32) payload-bytes.
+std::string frame_record(std::uint32_t magic, std::uint32_t version,
+                         std::string_view payload);
+
+/// Parse a frame produced by frame_record. On ok, *payload views into
+/// `bytes` (valid while `bytes` lives). Trailing bytes after the declared
+/// payload are rejected as truncated/torn writes would be.
+FrameStatus parse_record(std::string_view bytes, std::uint32_t magic,
+                         std::uint32_t version, std::string_view* payload);
+
+// --- file IO ----------------------------------------------------------------
+
+/// Write `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then rename over the target. Readers never observe a torn
+/// file (they see the old content or the new, not a mix).
+bool write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Read a whole file; nullopt when it does not exist or cannot be read.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace ihbd::serde

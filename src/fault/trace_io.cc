@@ -1,6 +1,7 @@
 #include "src/fault/trace_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -24,11 +25,39 @@ bool save_trace_csv(const FaultTrace& trace, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+namespace {
+
+[[noreturn]] void row_error(std::size_t line_no, const std::string& line,
+                            const std::string& why) {
+  throw ConfigError("trace CSV: " + why + " at line " +
+                    std::to_string(line_no) + ": '" + line + "'");
+}
+
+/// Whole-field integer parse: "12abc" and "" are malformed, not 12.
+int parse_int_field(const std::string& cell) {
+  std::size_t used = 0;
+  const int v = std::stoi(cell, &used);
+  if (used != cell.size()) throw std::invalid_argument(cell);
+  return v;
+}
+
+/// Whole-field finite double parse: trailing junk, nan and inf all reject.
+double parse_double_field(const std::string& cell) {
+  std::size_t used = 0;
+  const double v = std::stod(cell, &used);
+  if (used != cell.size() || !std::isfinite(v))
+    throw std::invalid_argument(cell);
+  return v;
+}
+
+}  // namespace
+
 FaultTrace load_trace_csv(std::istream& in, int node_count,
                           double duration_days) {
   std::vector<FaultEvent> events;
   std::string line;
   std::size_t line_no = 0;
+  double prev_start = 0.0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -41,15 +70,33 @@ FaultTrace load_trace_csv(std::istream& in, int node_count,
     FaultEvent e;
     try {
       if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
-      e.node = std::stoi(cell);
+      e.node = parse_int_field(cell);
       if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
-      e.start_day = std::stod(cell);
+      e.start_day = parse_double_field(cell);
       if (!std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
-      e.end_day = std::stod(cell);
+      e.end_day = parse_double_field(cell);
+      if (std::getline(fields, cell, ',')) throw std::invalid_argument(cell);
     } catch (const std::exception&) {
-      throw ConfigError("trace CSV: malformed row at line " +
-                        std::to_string(line_no) + ": '" + line + "'");
+      row_error(line_no, line, "malformed row");
     }
+    // Row-level semantic checks carry the line number; the FaultTrace
+    // constructor re-validates but can only say "somewhere in the trace".
+    if (e.node < 0) row_error(line_no, line, "negative node id");
+    if (node_count > 0 && e.node >= node_count)
+      row_error(line_no, line,
+                "node id >= node_count (" + std::to_string(node_count) + ")");
+    if (e.start_day < 0.0) row_error(line_no, line, "negative start_day");
+    if (e.end_day < e.start_day)
+      row_error(line_no, line, "negative duration (end_day < start_day)");
+    if (duration_days > 0.0 && e.end_day > duration_days)
+      row_error(line_no, line,
+                "end_day beyond trace duration (" +
+                    std::to_string(duration_days) + ")");
+    // save_trace_csv always writes events in start order; an out-of-order
+    // row means a corrupt or hand-mangled file, not a real trace.
+    if (!events.empty() && e.start_day < prev_start)
+      row_error(line_no, line, "events not sorted by start_day");
+    prev_start = e.start_day;
     events.push_back(e);
   }
 

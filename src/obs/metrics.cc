@@ -7,10 +7,13 @@
 #include <memory>
 #include <mutex>
 
+#include "src/common/serde.h"
 #include "src/common/table.h"
-#include "src/obs/json.h"
 
 namespace ihbd::obs {
+
+using serde::json_append_number;
+using serde::json_append_string;
 
 namespace detail {
 
@@ -267,6 +270,59 @@ std::string MetricsSnapshot::to_json() const {
   }
   out += "}}";
   return out;
+}
+
+void MetricsSnapshot::save(serde::Writer& w) const {
+  w.u64(counters.size());
+  for (const auto& [name, v] : counters) {
+    w.str(name);
+    w.u64(v);
+  }
+  w.u64(gauges.size());
+  for (const auto& [name, v] : gauges) {
+    w.str(name);
+    w.f64(v);
+  }
+  w.u64(histograms.size());
+  for (const auto& [name, hs] : histograms) {
+    w.str(name);
+    w.u64(hs.count);
+    w.f64(hs.sum);
+    w.u64(hs.buckets.size());
+    for (const auto& [le, n] : hs.buckets) {
+      w.f64(le);
+      w.u64(n);
+    }
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::load(serde::Reader& r) {
+  MetricsSnapshot snap;
+  const std::uint64_t n_counters = r.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    std::string name = r.str();
+    snap.counters[std::move(name)] = r.u64();
+  }
+  const std::uint64_t n_gauges = r.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    std::string name = r.str();
+    snap.gauges[std::move(name)] = r.f64();
+  }
+  const std::uint64_t n_hists = r.u64();
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    std::string name = r.str();
+    HistogramSnapshot hs;
+    hs.count = r.u64();
+    hs.sum = r.f64();
+    const std::uint64_t n_buckets = r.u64();
+    hs.buckets.reserve(n_buckets);
+    for (std::uint64_t b = 0; b < n_buckets; ++b) {
+      const double le = r.f64();
+      hs.buckets.emplace_back(le, r.u64());
+    }
+    snap.histograms[std::move(name)] = std::move(hs);
+  }
+  return snap;
 }
 
 Table MetricsSnapshot::to_table() const {

@@ -51,6 +51,11 @@ namespace ihbd {
 class Table;
 }  // namespace ihbd
 
+namespace ihbd::serde {
+class Writer;
+class Reader;
+}  // namespace ihbd::serde
+
 namespace ihbd::obs {
 
 namespace detail {
@@ -174,6 +179,14 @@ struct MetricsSnapshot {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
   /// "sum":..,"buckets":[[le,n],...]}}} — keys sorted (std::map order).
   std::string to_json() const;
+
+  /// Binary codec (serde): the wire format for distributed-sweep shard
+  /// state — checkpoints carry a snapshot so counters survive a worker
+  /// kill, and sweepd workers publish per-owner snapshots that the
+  /// coordinator merge()s into one fleet metrics.json. save -> load is
+  /// exact (doubles travel by bit pattern).
+  void save(serde::Writer& w) const;
+  static MetricsSnapshot load(serde::Reader& r);
 
   /// Human-readable table (one row per metric) for --metrics output.
   Table to_table() const;

@@ -7,9 +7,12 @@
 #include <mutex>
 #include <vector>
 
-#include "src/obs/json.h"
+#include "src/common/serde.h"
 
 namespace ihbd::obs {
+
+using serde::json_append_number;
+using serde::json_append_string;
 
 namespace {
 

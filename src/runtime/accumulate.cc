@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "src/common/error.h"
+#include "src/common/serde.h"
+
 namespace ihbd::runtime {
 
 void Accumulator::add(double x) {
@@ -58,6 +61,33 @@ bool Accumulator::set_keep_samples(bool keep) {
   // else: values were already dropped; the set can never be complete again,
   // so retention stays off.
   return keep_samples_;
+}
+
+void Accumulator::save(serde::Writer& w) const {
+  w.u64(count_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+  w.u8(keep_samples_ ? 1 : 0);
+  w.f64_vec(samples_);
+}
+
+Accumulator Accumulator::load(serde::Reader& r) {
+  Accumulator acc;
+  acc.count_ = static_cast<std::size_t>(r.u64());
+  acc.mean_ = r.f64();
+  acc.m2_ = r.f64();
+  acc.min_ = r.f64();
+  acc.max_ = r.f64();
+  acc.keep_samples_ = r.u8() != 0;
+  acc.samples_ = r.f64_vec();
+  if (!acc.samples_.empty() && acc.samples_.size() != acc.count_) {
+    throw ConfigError(
+        "Accumulator::load: retained samples are neither complete nor "
+        "empty");
+  }
+  return acc;
 }
 
 double Accumulator::variance() const {

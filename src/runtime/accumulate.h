@@ -12,6 +12,11 @@
 
 #include "src/common/stats.h"
 
+namespace ihbd::serde {
+class Writer;
+class Reader;
+}  // namespace ihbd::serde
+
 namespace ihbd::runtime {
 
 // Sample-retention semantics: `samples_` is always either empty or a
@@ -48,6 +53,13 @@ class Accumulator {
   /// discards retained samples; enabling after values were dropped is a
   /// no-op (retention stays off). Returns the retention state in effect.
   bool set_keep_samples(bool keep);
+
+  /// Binary codec (serde): bit-exact round trip of the full state —
+  /// moments, min/max, retention flag and retained samples — so a shard
+  /// checkpoint restores an Accumulator indistinguishable from the one
+  /// that was saved. load() re-validates the complete-or-empty invariant.
+  void save(serde::Writer& w) const;
+  static Accumulator load(serde::Reader& r);
 
  private:
   std::size_t count_ = 0;

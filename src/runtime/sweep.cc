@@ -4,6 +4,7 @@
 
 #include "src/common/contracts.h"
 #include "src/common/table.h"
+#include "src/runtime/shard.h"
 #include "src/runtime/substream.h"
 
 namespace ihbd::runtime {
@@ -90,7 +91,7 @@ SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn, int threads,
       [](Accumulator& acc, double sample) {
         if (!std::isnan(sample)) acc.add(sample);
       },
-      threads, pool);
+      threads, pool, &shard::accumulator_codec());
 }
 
 }  // namespace ihbd::runtime

@@ -12,11 +12,29 @@
 //                Axis::of_labels("Arch", {"IHBD", "NVL-72"})};
 //   SweepResult res = run_sweep(spec, trial_fn, threads);
 //
-// run_sweep fans the cells across a ThreadPool. Each (cell, trial) pair
-// draws from its own RNG substream derived from (spec.seed, global trial
-// index), so the result is bit-identical for any thread count and any
-// execution order; trials within one cell always accumulate in trial
-// order. A trial may return NaN to mark its cell "not applicable" (e.g. an
+// The engine is a plan -> execute -> reduce pipeline with a serializable
+// boundary between the stages (src/runtime/shard.h):
+//
+//   plan    — shard::plan_shards partitions the grid into ShardSpecs,
+//             deterministically from the spec alone.
+//   execute — each shard's cells run on a work-stealing ThreadPool; each
+//             (cell, trial) pair draws from its own RNG substream derived
+//             from (spec.seed, global trial index), so the result is
+//             bit-identical for any thread count, execution order, shard
+//             count, or kill/resume history; trials within one cell always
+//             accumulate in trial order. Sharded executors serialize
+//             per-cell state through a ShardCodec and periodically persist
+//             versioned, checksummed checkpoints (src/runtime/checkpoint.h)
+//             so a killed worker resumes mid-shard.
+//   reduce  — shard results fold back into the grid, order-respecting.
+//
+// The single-process path is the degenerate one-shard plan executed in
+// place: no serialization, no files, byte-identical to the pre-pipeline
+// engine. The distributed path engages only when BOTH an ambient
+// shard::ShardContext is installed (bench_util --shard-dir) AND the caller
+// passes a ShardCodec — sweeps without a codec always run locally.
+//
+// A trial may return NaN to mark its cell "not applicable" (e.g. an
 // architecture that cannot host the requested TP size); such cells stay
 // empty and reports skip them.
 //
@@ -32,83 +50,33 @@
 //       threads);
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/common/error.h"
 #include "src/common/rng.h"
+#include "src/common/serde.h"
 #include "src/common/stats.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/accumulate.h"
+#include "src/runtime/checkpoint.h"
+#include "src/runtime/shard.h"
+#include "src/runtime/sweep_spec.h"
 #include "src/runtime/thread_pool.h"
 
 namespace ihbd::runtime {
-
-/// One scenario-grid dimension: a name plus per-level labels and optional
-/// numeric values (values are NaN for purely categorical axes).
-struct Axis {
-  std::string name;
-  std::vector<std::string> labels;
-  std::vector<double> values;
-
-  /// Numeric axis; labels default to Table-style fixed-precision rendering
-  /// unless a label_fn is supplied.
-  static Axis of_values(std::string name, std::vector<double> values,
-                        const std::function<std::string(double)>& label_fn = {});
-  /// Categorical axis (architectures, model names, ...).
-  static Axis of_labels(std::string name, std::vector<std::string> labels);
-
-  std::size_t size() const { return labels.size(); }
-};
-
-struct SweepSpec {
-  std::uint64_t seed = 0;
-  int trials = 1;            ///< Monte-Carlo trials per grid cell.
-  std::vector<Axis> axes;    ///< row-major: last axis varies fastest.
-  bool keep_samples = true;  ///< retain per-trial samples (percentiles).
-
-  std::size_t cell_count() const;
-  /// Index of the axis with the given name; aborts if absent.
-  std::size_t axis_index(std::string_view name) const;
-};
-
-/// View of one (cell, trial) handed to the trial function.
-class Scenario {
- public:
-  Scenario(const SweepSpec& spec, std::size_t cell,
-           const std::vector<std::size_t>& idx, int trial)
-      : spec_(&spec), cell_(cell), idx_(&idx), trial_(trial) {}
-
-  std::size_t cell() const { return cell_; }
-  int trial() const { return trial_; }
-  const SweepSpec& spec() const { return *spec_; }
-  /// Per-axis level index / numeric value / label.
-  std::size_t index(std::size_t axis) const { return (*idx_)[axis]; }
-  double value(std::size_t axis) const {
-    return spec_->axes[axis].values[index(axis)];
-  }
-  const std::string& label(std::size_t axis) const {
-    return spec_->axes[axis].labels[index(axis)];
-  }
-
- private:
-  const SweepSpec* spec_;
-  std::size_t cell_;
-  const std::vector<std::size_t>* idx_;
-  int trial_;
-};
-
-/// Row-major flat index of a per-axis level tuple.
-std::size_t flat_cell_index(const SweepSpec& spec,
-                            const std::vector<std::size_t>& idx);
 
 /// Outcome of a sweep: one accumulator of user-chosen type per grid cell,
 /// row-major in the axis order of the spec.
@@ -132,16 +100,7 @@ using SweepResult = GenericSweepResult<Accumulator>;
 /// sample (NaN = cell not applicable).
 using TrialFn = std::function<double(const Scenario&, Rng&)>;
 
-/// The RNG substream of one (cell, trial) pair: O(1), order-independent,
-/// shared by the scalar and generic engines (and usable by callers that
-/// need to re-materialize a trial's stream, e.g. for resume or debugging).
-Rng trial_rng(const SweepSpec& spec, std::size_t cell, int trial);
-
 namespace detail {
-/// Abort on malformed specs (no axes, empty axis, label/value mismatch).
-void validate_spec(const SweepSpec& spec);
-/// Decode a row-major flat cell index into per-axis levels.
-std::vector<std::size_t> decode_cell(const SweepSpec& spec, std::size_t cell);
 
 /// Sweep-engine metrics (src/obs): cells/trials completed and per-cell wall
 /// time. Handles are interned once; recording is skipped unless obs is
@@ -158,6 +117,266 @@ inline SweepObs& sweep_obs() {
                     obs::histogram("sweep.cell_seconds")};
   return o;
 }
+
+/// The execute stage's inner loop: fold trials [trial_begin, trial_end) of
+/// one cell into `acc`, strictly in trial order. Every execution path —
+/// local, sharded, resumed — funnels through here, which is what makes
+/// them bit-interchangeable.
+template <typename Acc, typename Trial, typename Fold>
+void run_cell_into(const SweepSpec& spec, std::size_t cell, int trial_begin,
+                   int trial_end, Acc& acc, Trial& trial, Fold& fold) {
+  IHBD_TRACE_SPAN("sweep_cell");
+  const bool obs_on = obs::enabled();
+  const auto t0 = obs_on ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  const std::vector<std::size_t> idx = decode_cell(spec, cell);
+  for (int t = trial_begin; t < trial_end; ++t) {
+    Rng rng = trial_rng(spec, cell, t);
+    const Scenario scenario(spec, cell, idx, t);
+    if constexpr (std::is_invocable_v<Fold&, Acc&,
+                                      decltype(trial(scenario, rng)),
+                                      const Scenario&>) {
+      fold(acc, trial(scenario, rng), scenario);
+    } else {
+      fold(acc, trial(scenario, rng));
+    }
+  }
+  if (obs_on) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    SweepObs& o = sweep_obs();
+    o.cells.add(1);
+    o.trials.add(static_cast<std::uint64_t>(trial_end - trial_begin));
+    o.cell_ns.add(static_cast<std::uint64_t>(ns));
+    o.cell_seconds.observe(static_cast<double>(ns) * 1e-9);
+  }
+}
+
+/// Execute one shard directly into the result grid (the local path: no
+/// serialization boundary). Scheduling is identical to the pre-pipeline
+/// engine: one parallel_for index per cell of the shard.
+template <typename Acc, typename Trial, typename Fold>
+void execute_shard_into(const SweepSpec& spec, const shard::ShardSpec& sh,
+                        std::vector<Acc>& cells, Trial& trial, Fold& fold,
+                        const PoolRef& pool_ref) {
+  pool_ref->parallel_for(sh.cells(), [&](std::size_t i) {
+    const std::size_t cell = sh.cell_begin + i;
+    run_cell_into(spec, cell, sh.trial_begin, sh.trial_end, cells[cell],
+                  trial, fold);
+  });
+}
+
+/// Execute one shard durably: resume completed cells from the newest valid
+/// checkpoint generation, run the rest on the pool, persist a checkpoint
+/// every checkpoint_every() completions, and return the complete encoded
+/// ShardPayload. Completed cells are held serialized (codec bytes), so a
+/// checkpoint is a pure concatenation and resume needs no re-execution.
+template <typename Acc, typename Trial, typename Fold>
+std::string execute_shard_durable(const SweepSpec& spec,
+                                  const shard::ShardPlan& plan,
+                                  const shard::ShardSpec& sh, const Acc& init,
+                                  Trial& trial, Fold& fold,
+                                  const shard::ShardCodec<Acc>& codec,
+                                  shard::ShardContext& ctx,
+                                  const PoolRef& pool_ref) {
+  const std::string ckpt_path = ctx.checkpoint_path(sh.index);
+  std::vector<std::optional<std::string>> done(sh.cells());
+
+  if (!ckpt_path.empty()) {
+    const checkpoint::Recovered rec = checkpoint::load_with_fallback(ckpt_path);
+    if (rec.valid) {
+      try {
+        shard::ShardPayload saved = shard::decode_shard_payload(rec.payload);
+        // A checkpoint from another plan (or another shard of this plan —
+        // path collisions across runs) must not leak cells into this one.
+        if (saved.plan_hash == plan.plan_hash && saved.shard_id == sh.id) {
+          for (shard::ShardPayloadEntry& e : saved.entries) {
+            if (e.cell >= sh.cell_begin && e.cell < sh.cell_end &&
+                e.trial_begin == sh.trial_begin &&
+                e.trial_end == sh.trial_end) {
+              done[e.cell - sh.cell_begin] = std::move(e.acc_bytes);
+            }
+          }
+          if (!saved.metrics.empty()) ctx.note_resumed_metrics(saved.metrics);
+        }
+      } catch (const ConfigError&) {
+        // Frame was valid but the payload didn't decode: version skew.
+        // Start the shard from scratch rather than trusting it.
+      }
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (!done[i].has_value()) pending.push_back(i);
+  }
+
+  auto build_payload = [&](bool with_metrics) {
+    shard::ShardPayload payload;
+    payload.plan_hash = plan.plan_hash;
+    payload.shard_id = sh.id;
+    payload.shard_index = sh.index;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (!done[i].has_value()) continue;
+      shard::ShardPayloadEntry e;
+      e.cell = sh.cell_begin + i;
+      e.trial_begin = sh.trial_begin;
+      e.trial_end = sh.trial_end;
+      e.acc_bytes = *done[i];
+      payload.entries.push_back(std::move(e));
+    }
+    if (with_metrics && obs::enabled()) {
+      serde::Writer mw;
+      obs::snapshot().save(mw);
+      payload.metrics = mw.take();
+    }
+    return shard::encode_shard_payload(payload);
+  };
+
+  std::mutex mu;
+  std::size_t since_checkpoint = 0;
+  const std::size_t every = std::max<std::size_t>(1, ctx.checkpoint_every());
+  pool_ref->parallel_for(pending.size(), [&](std::size_t k) {
+    const std::size_t i = pending[k];
+    const std::size_t cell = sh.cell_begin + i;
+    Acc acc = init;
+    run_cell_into(spec, cell, sh.trial_begin, sh.trial_end, acc, trial, fold);
+    serde::Writer w;
+    codec.save(w, acc);
+    std::lock_guard<std::mutex> lock(mu);
+    done[i] = w.take();
+    ctx.note_progress(sh.index);
+    if (!ckpt_path.empty() && ++since_checkpoint >= every) {
+      since_checkpoint = 0;
+      checkpoint::write(ckpt_path, build_payload(/*with_metrics=*/true));
+    }
+  });
+
+  return build_payload(/*with_metrics=*/true);
+}
+
+/// The reduce stage: validate and fold shard payloads (in plan order) back
+/// into the result grid. Whole-cell entries are placed directly — a
+/// deserialize of exactly the bytes the executor serialized, hence
+/// bit-identical to local execution. When a plan split one cell's trials,
+/// the partial accumulators are combined with an order-respecting tree
+/// merge (adjacent pairs, trial order preserved at every level).
+template <typename Acc>
+void reduce_shard_payloads(const shard::ShardPlan& plan,
+                           const std::vector<std::string>& payloads,
+                           const shard::ShardCodec<Acc>& codec,
+                           std::vector<Acc>& cells) {
+  if (payloads.size() != plan.shards.size()) {
+    throw ConfigError("sweep reduce: expected " +
+                      std::to_string(plan.shards.size()) + " shard results, got " +
+                      std::to_string(payloads.size()));
+  }
+  std::vector<int> next_trial(cells.size(), 0);
+  std::vector<std::vector<Acc>> parts(cells.size());
+  for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+    const shard::ShardSpec& sh = plan.shards[i];
+    shard::ShardPayload payload = shard::decode_shard_payload(payloads[i]);
+    if (payload.plan_hash != plan.plan_hash || payload.shard_id != sh.id ||
+        payload.shard_index != sh.index) {
+      throw ConfigError("sweep reduce: shard result " + std::to_string(i) +
+                        " does not match the plan");
+    }
+    if (payload.entries.size() != sh.cells()) {
+      throw ConfigError("sweep reduce: shard " + std::to_string(i) +
+                        " result is incomplete");
+    }
+    for (shard::ShardPayloadEntry& e : payload.entries) {
+      if (e.cell < sh.cell_begin || e.cell >= sh.cell_end ||
+          e.trial_begin != sh.trial_begin || e.trial_end != sh.trial_end) {
+        throw ConfigError("sweep reduce: shard " + std::to_string(i) +
+                          " entry outside its shard range");
+      }
+      if (e.trial_begin != next_trial[e.cell]) {
+        throw ConfigError("sweep reduce: non-contiguous trial coverage for "
+                          "cell " + std::to_string(e.cell));
+      }
+      next_trial[e.cell] = e.trial_end;
+      serde::Reader r(e.acc_bytes);
+      parts[e.cell].push_back(codec.load(r));
+      r.expect_done("shard accumulator");
+    }
+  }
+  for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+    if (next_trial[cell] != plan.trials) {
+      throw ConfigError("sweep reduce: cell " + std::to_string(cell) +
+                        " not fully covered by shard results");
+    }
+    std::vector<Acc>& v = parts[cell];
+    if (v.size() > 1 && !codec.merge) {
+      throw ConfigError("sweep reduce: trial-split plan needs a codec with "
+                        "merge()");
+    }
+    while (v.size() > 1) {
+      std::vector<Acc> merged;
+      merged.reserve((v.size() + 1) / 2);
+      for (std::size_t i = 0; i < v.size(); i += 2) {
+        if (i + 1 < v.size()) codec.merge(v[i], std::move(v[i + 1]));
+        merged.push_back(std::move(v[i]));
+      }
+      v = std::move(merged);
+    }
+    cells[cell] = std::move(v.front());
+  }
+}
+
+/// The distributed composition: plan from the spec, claim-and-execute
+/// shards through the transport until none are claimable, then poll for
+/// the full result set and reduce. Every participant (worker or
+/// coordinator) converges on the identical result grid.
+template <typename Acc, typename Trial, typename Fold>
+GenericSweepResult<Acc> run_sweep_sharded(const SweepSpec& spec, Acc init,
+                                          Trial& trial, Fold& fold,
+                                          const shard::ShardCodec<Acc>& codec,
+                                          shard::ShardContext& ctx,
+                                          int threads, ThreadPool* pool) {
+  const shard::ShardPlan plan = shard::plan_shards(spec, ctx.policy());
+  ctx.begin_sweep(plan);
+  struct EndGuard {
+    shard::ShardContext& ctx;
+    ~EndGuard() { ctx.end_sweep(); }
+  } guard{ctx};
+
+  const PoolRef pool_ref(threads, pool);
+  std::vector<std::string> payloads;
+  for (;;) {
+    bool progressed = false;
+    if (ctx.executes()) {
+      while (const std::optional<std::size_t> claimed = ctx.claim()) {
+        progressed = true;
+        const shard::ShardSpec& sh = plan.shards[*claimed];
+        try {
+          std::string payload = execute_shard_durable(
+              spec, plan, sh, init, trial, fold, codec, ctx, pool_ref);
+          ctx.publish_result(*claimed, std::move(payload));
+        } catch (...) {
+          ctx.release(*claimed);
+          throw;
+        }
+      }
+    }
+    if (std::optional<std::vector<std::string>> all = ctx.try_collect()) {
+      payloads = std::move(*all);
+      break;
+    }
+    // Keep alternating claim and collect: a shard whose owner died becomes
+    // claimable again once its lease goes stale, and this participant must
+    // pick it up rather than wait forever.
+    if (!progressed) ctx.poll_wait();
+  }
+
+  GenericSweepResult<Acc> result;
+  result.spec = spec;
+  result.cells.assign(spec.cell_count(), std::move(init));
+  reduce_shard_payloads(plan, payloads, codec, result.cells);
+  return result;
+}
+
 }  // namespace detail
 
 /// Generic reduce engine: run every (cell, trial) on a thread pool and fold
@@ -174,52 +393,39 @@ inline SweepObs& sweep_obs() {
 /// sweep workers). With pool == nullptr, threads == 0 fans out on the
 /// process-wide ThreadPool::shared(); threads > 0 uses a dedicated
 /// transient pool of that width.
+///
+/// Distribution: when an ambient shard::ShardContext is installed
+/// (bench_util --shard-dir) AND `codec` is non-null, the sweep runs as
+/// plan -> claim/execute -> reduce across every participating process,
+/// returning the identical result grid in each. Without a codec (or
+/// without a context) the sweep runs locally as the degenerate one-shard
+/// plan — byte-identical to the distributed result.
 template <typename Acc, typename Trial, typename Fold>
-GenericSweepResult<Acc> run_sweep_reduce(const SweepSpec& spec, Acc init,
-                                         Trial&& trial, Fold&& fold,
-                                         int threads = 0,
-                                         ThreadPool* pool = nullptr) {
+GenericSweepResult<Acc> run_sweep_reduce(
+    const SweepSpec& spec, Acc init, Trial&& trial, Fold&& fold,
+    int threads = 0, ThreadPool* pool = nullptr,
+    const shard::ShardCodec<Acc>* codec = nullptr) {
   detail::validate_spec(spec);
+  if (shard::ShardContext* ctx = shard::context();
+      ctx != nullptr && codec != nullptr) {
+    return detail::run_sweep_sharded(spec, std::move(init), trial, fold,
+                                     *codec, *ctx, threads, pool);
+  }
   GenericSweepResult<Acc> result;
   result.spec = spec;
   result.cells.assign(spec.cell_count(), std::move(init));
+  const shard::ShardPlan plan =
+      shard::plan_shards(spec, shard::PlanPolicy{.max_shards = 1});
   const PoolRef pool_ref(threads, pool);
-  pool_ref->parallel_for(result.cells.size(), [&](std::size_t cell) {
-    IHBD_TRACE_SPAN("sweep_cell");
-    const bool obs_on = obs::enabled();
-    const auto t0 = obs_on ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
-    const std::vector<std::size_t> idx = detail::decode_cell(spec, cell);
-    Acc& acc = result.cells[cell];
-    for (int t = 0; t < spec.trials; ++t) {
-      Rng rng = trial_rng(spec, cell, t);
-      const Scenario scenario(spec, cell, idx, t);
-      if constexpr (std::is_invocable_v<Fold&, Acc&,
-                                        decltype(trial(scenario, rng)),
-                                        const Scenario&>) {
-        fold(acc, trial(scenario, rng), scenario);
-      } else {
-        fold(acc, trial(scenario, rng));
-      }
-    }
-    if (obs_on) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-      detail::SweepObs& o = detail::sweep_obs();
-      o.cells.add(1);
-      o.trials.add(static_cast<std::uint64_t>(spec.trials));
-      o.cell_ns.add(static_cast<std::uint64_t>(ns));
-      o.cell_seconds.observe(static_cast<double>(ns) * 1e-9);
-    }
-  });
+  detail::execute_shard_into(spec, plan.shards.front(), result.cells, trial,
+                             fold, pool_ref);
   return result;
 }
 
 /// Scalar sweep: a thin adapter over run_sweep_reduce with an Accumulator
 /// per cell (NaN results leave the cell untouched). Bit-identical to the
 /// pre-generic engine for any thread count; same pool/threads resolution as
-/// run_sweep_reduce.
+/// run_sweep_reduce. Shardable out of the box (shard::accumulator_codec).
 SweepResult run_sweep(const SweepSpec& spec, const TrialFn& fn,
                       int threads = 0, ThreadPool* pool = nullptr);
 

@@ -186,30 +186,36 @@ TraceWindowFragment replay_trace_window_incremental(
   return frag;
 }
 
-TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
-                                           const fault::FaultTrace& trace,
-                                           int tp_size_gpus,
-                                           const TraceReplayOptions& options) {
-  IHBD_EXPECTS(trace.node_count() == arch.node_count());
-  IHBD_EXPECTS(options.step_days > 0.0);
-  IHBD_EXPECTS(options.threads >= 0);
+// The windowed replay is the same plan -> execute -> reduce shape as the
+// sweep engine (src/runtime/sweep.h), one level down: plan the window
+// partition, execute each window into a serializable TraceWindowFragment,
+// reduce the fragments in window order. The three named stages below keep
+// that boundary explicit.
+namespace {
 
-  IHBD_TRACE_SPAN("replay_trace");
-  replay_obs().evaluations.add(1);
-
-  const std::vector<double> days = trace.sample_days(options.step_days);
+/// Plan: partition the sample-day sequence into replay windows.
+/// A single worker gains nothing from window splits; one window lets the
+/// incremental tier keep one cursor/allocator alive over the whole trace
+/// instead of fast-forwarding a fresh one per window. Output is identical
+/// for any window size, so this is purely a perf choice.
+std::vector<fault::SampleWindow> plan_replay_windows(
+    std::size_t sample_count, const TraceReplayOptions& options) {
   runtime::ThreadPool* pool = options.pool;
   const int workers = pool != nullptr ? pool->size()
                       : options.threads == 0
                           ? runtime::ThreadPool::default_threads()
                           : options.threads;
-  // A single worker gains nothing from window splits; one window lets the
-  // incremental tier keep one cursor/allocator alive over the whole trace
-  // instead of fast-forwarding a fresh one per window. Output is identical
-  // for any window size, so this is purely a perf choice.
   const std::size_t window_samples =
       options.incremental && workers == 1 ? 0 : options.window_samples;
-  const auto windows = fault::split_windows(days.size(), window_samples);
+  return fault::split_windows(sample_count, window_samples);
+}
+
+/// Execute: replay every window into its fragment, fanning out on the pool.
+std::vector<TraceWindowFragment> execute_replay_windows(
+    const HbdArchitecture& arch, const fault::FaultTrace& trace,
+    int tp_size_gpus, const std::vector<double>& days,
+    const std::vector<fault::SampleWindow>& windows,
+    const TraceReplayOptions& options) {
   std::vector<TraceWindowFragment> fragments(windows.size());
   const auto replay_one = [&](std::size_t w) {
     const auto& window = windows[w];
@@ -229,6 +235,11 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
                                          options.packed);
     }
   };
+  runtime::ThreadPool* pool = options.pool;
+  const int workers = pool != nullptr ? pool->size()
+                      : options.threads == 0
+                          ? runtime::ThreadPool::default_threads()
+                          : options.threads;
   if (workers == 1 || windows.size() <= 1) {
     // Nothing to fan out: replay inline on the calling thread.
     for (std::size_t w = 0; w < windows.size(); ++w) replay_one(w);
@@ -240,10 +251,16 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
     const runtime::PoolRef ref(options.threads, pool);
     ref->parallel_for(windows.size(), replay_one);
   }
+  return fragments;
+}
 
-  // Merge fragments strictly in window order: the concatenated series and
-  // the sample-retaining accumulator then match the serial reference
-  // bit-for-bit regardless of thread count.
+/// Reduce: merge fragments strictly in window order. The concatenated
+/// series and the sample-retaining accumulator then match the serial
+/// reference bit-for-bit regardless of thread count. (merge_next is
+/// associative, so a tree grouping would also do; the in-order fold is the
+/// canonical one.)
+TraceWasteResult reduce_replay_fragments(
+    std::vector<TraceWindowFragment> fragments) {
   TraceWasteResult out;
   if (fragments.empty()) return out;
   IHBD_TRACE_SPAN("replay_merge");
@@ -258,6 +275,49 @@ TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
   out.usable_gpus = std::move(merged.usable_gpus);
   out.waste_summary = merged.waste_acc.summary();
   return out;
+}
+
+}  // namespace
+
+TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,
+                                           const fault::FaultTrace& trace,
+                                           int tp_size_gpus,
+                                           const TraceReplayOptions& options) {
+  IHBD_EXPECTS(trace.node_count() == arch.node_count());
+  IHBD_EXPECTS(options.step_days > 0.0);
+  IHBD_EXPECTS(options.threads >= 0);
+
+  IHBD_TRACE_SPAN("replay_trace");
+  replay_obs().evaluations.add(1);
+
+  const std::vector<double> days = trace.sample_days(options.step_days);
+  const std::vector<fault::SampleWindow> windows =
+      plan_replay_windows(days.size(), options);
+  std::vector<TraceWindowFragment> fragments = execute_replay_windows(
+      arch, trace, tp_size_gpus, days, windows, options);
+  return reduce_replay_fragments(std::move(fragments));
+}
+
+const runtime::shard::ShardCodec<TraceWasteResult>& trace_waste_codec() {
+  static const runtime::shard::ShardCodec<TraceWasteResult> codec{
+      [](serde::Writer& w, const TraceWasteResult& r) {
+        serde::write_time_series(w, r.waste_ratio);
+        serde::write_time_series(w, r.usable_gpus);
+        serde::write_summary(w, r.waste_summary);
+      },
+      [](serde::Reader& r) {
+        TraceWasteResult out;
+        out.waste_ratio = serde::read_time_series(r);
+        out.usable_gpus = serde::read_time_series(r);
+        out.waste_summary = serde::read_summary(r);
+        return out;
+      },
+      // Replay grids run one trial per cell: plans never split a cell, so
+      // no merge is required (and none would be bit-faithful for the
+      // concatenated series anyway).
+      {},
+  };
+  return codec;
 }
 
 TraceWasteResult evaluate_waste_over_trace(const HbdArchitecture& arch,

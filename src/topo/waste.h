@@ -35,6 +35,7 @@
 #include "src/common/stats.h"
 #include "src/fault/trace.h"
 #include "src/runtime/accumulate.h"
+#include "src/runtime/shard.h"
 #include "src/topo/hbd.h"
 
 namespace ihbd::runtime {
@@ -49,6 +50,13 @@ struct TraceWasteResult {
   TimeSeries usable_gpus;  ///< GPUs inside placed TP groups per sample time
   Summary waste_summary;   ///< summary over waste_ratio.v
 };
+
+/// ShardCodec for replay sweeps whose cells hold a TraceWasteResult (the
+/// fig13/15/16/20 grids): bit-exact save/load of both series and the
+/// summary. Replay grids run one trial per cell, so no merge is needed —
+/// the distributed reduce is pure placement, keeping the sharded result
+/// byte-identical to the single-process one.
+const runtime::shard::ShardCodec<TraceWasteResult>& trace_waste_codec();
 
 /// Tuning knobs of the windowed parallel replay.
 struct TraceReplayOptions {

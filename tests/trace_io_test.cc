@@ -54,6 +54,57 @@ TEST(TraceIo, ThrowsOnMalformedRow) {
   EXPECT_THROW(load_trace_csv(bad, 4, 10.0), ConfigError);
 }
 
+TEST(TraceIo, RejectsPartialAndNonFiniteFields) {
+  // Trailing junk after a numeric field is an error, not a truncation.
+  std::stringstream junk_node("12abc,1.0,2.0\n");
+  EXPECT_THROW(load_trace_csv(junk_node, 40, 10.0), ConfigError);
+  std::stringstream junk_day("1,1.0x,2.0\n");
+  EXPECT_THROW(load_trace_csv(junk_day, 40, 10.0), ConfigError);
+  std::stringstream extra_col("1,1.0,2.0,extra\n");
+  EXPECT_THROW(load_trace_csv(extra_col, 40, 10.0), ConfigError);
+  std::stringstream nan_day("1,nan,2.0\n");
+  EXPECT_THROW(load_trace_csv(nan_day, 40, 10.0), ConfigError);
+  std::stringstream inf_day("1,1.0,inf\n");
+  EXPECT_THROW(load_trace_csv(inf_day, 40, 10.0), ConfigError);
+}
+
+TEST(TraceIo, RejectsOutOfRangeEvents) {
+  std::stringstream neg_node("-1,1.0,2.0\n");
+  EXPECT_THROW(load_trace_csv(neg_node, 4, 10.0), ConfigError);
+  std::stringstream big_node("4,1.0,2.0\n");  // node_count=4 -> max id 3
+  EXPECT_THROW(load_trace_csv(big_node, 4, 10.0), ConfigError);
+  std::stringstream neg_start("1,-0.5,2.0\n");
+  EXPECT_THROW(load_trace_csv(neg_start, 4, 10.0), ConfigError);
+  std::stringstream ends_early("1,3.0,2.0\n");
+  EXPECT_THROW(load_trace_csv(ends_early, 4, 10.0), ConfigError);
+  std::stringstream past_end("1,1.0,11.0\n");  // duration_days=10
+  EXPECT_THROW(load_trace_csv(past_end, 4, 10.0), ConfigError);
+  // The same rows are fine when the violated bound is inferred instead.
+  std::stringstream infer("4,1.0,11.0\n");
+  const auto trace = load_trace_csv(infer);
+  EXPECT_EQ(trace.node_count(), 5);
+  EXPECT_DOUBLE_EQ(trace.duration_days(), 11.0);
+}
+
+TEST(TraceIo, RejectsUnsortedEvents) {
+  std::stringstream unsorted("1,5.0,6.0\n0,1.0,2.0\n");
+  EXPECT_THROW(load_trace_csv(unsorted, 4, 10.0), ConfigError);
+  // Equal start days are legal (ties are broken internally).
+  std::stringstream ties("1,5.0,6.0\n0,5.0,7.0\n");
+  EXPECT_EQ(load_trace_csv(ties, 4, 10.0).events().size(), 2u);
+}
+
+TEST(TraceIo, ErrorNamesOffendingLine) {
+  std::stringstream in("0,1.0,2.0\nbogus,3.0,4.0\n");
+  try {
+    load_trace_csv(in, 4, 10.0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
 TEST(TraceIo, ThrowsOnEmptyWithoutDimensions) {
   std::stringstream in("");
   EXPECT_THROW(load_trace_csv(in), ConfigError);
