@@ -4,10 +4,20 @@
 //   (a) sensitivity to cluster size (8k-20k GPUs, job 85%, faults 5%),
 //   (b) impact of job-scale ratio (70-90%, faults 5%),
 //   (c) sensitivity to node fault ratio (0-8%, job 85%).
+//
+// All three panels run on runtime::run_sweep_reduce with a paired
+// accumulator (common random numbers: each trial draws one fault mask and
+// evaluates both the optimized and the greedy placement on it) and a shard
+// codec, so the tables are bit-identical across --threads values and
+// --shard-dir fleet shapes.
+#include <utility>
+
 #include "bench/bench_util.h"
+#include "src/common/serde.h"
 #include "src/dcn/traffic.h"
 #include "src/fault/trace.h"
 #include "src/orch/orchestrator.h"
+#include "src/runtime/sweep.h"
 
 using namespace ihbd;
 
@@ -22,31 +32,77 @@ struct Setup {
         orchestrator(fat_tree, /*k=*/2, /*gpus_per_node=*/4) {}
 };
 
+/// Paired cross-ToR rates from one fault mask.
 struct Rates {
   double optimized;
   double baseline;
 };
 
-Rates measure(Setup& setup, double fault_ratio, double job_ratio, Rng& rng,
-              int trials) {
-  double opt_total = 0.0, base_total = 0.0;
-  for (int t = 0; t < trials; ++t) {
-    const int nodes = setup.fat_tree.node_count();
-    const auto mask = fault::sample_fault_mask(nodes, fault_ratio, rng);
-    orch::JobSpec job{32, static_cast<int>(nodes * 4 * job_ratio)};
-    const int use = job.gpu_count / job.tp_size_gpus;
-
-    const auto optimized = setup.orchestrator.orchestrate(mask, job);
-    opt_total +=
-        dcn::evaluate_cross_tor(setup.fat_tree, optimized, 4, {}, use)
-            .cross_tor_rate();
-    const auto baseline =
-        orch::greedy_baseline(setup.fat_tree, 2, 4, mask, job, rng);
-    base_total +=
-        dcn::evaluate_cross_tor(setup.fat_tree, baseline, 4, {}, use)
-            .cross_tor_rate();
+/// Per-cell fold of Rates (moments only; the figure reports means).
+struct RateAcc {
+  runtime::Accumulator optimized;
+  runtime::Accumulator baseline;
+  RateAcc() {
+    optimized.set_keep_samples(false);
+    baseline.set_keep_samples(false);
   }
-  return {opt_total / trials, base_total / trials};
+};
+
+const runtime::shard::ShardCodec<RateAcc>& rate_codec() {
+  static const runtime::shard::ShardCodec<RateAcc> codec{
+      [](serde::Writer& w, const RateAcc& a) {
+        a.optimized.save(w);
+        a.baseline.save(w);
+      },
+      [](serde::Reader& r) {
+        RateAcc a;
+        a.optimized = runtime::Accumulator::load(r);
+        a.baseline = runtime::Accumulator::load(r);
+        return a;
+      },
+      [](RateAcc& into, RateAcc&& next) {
+        into.optimized.merge(next.optimized);
+        into.baseline.merge(next.baseline);
+      }};
+  return codec;
+}
+
+/// One Monte-Carlo trial: one mask, both placements.
+Rates measure(int nodes, double fault_ratio, double job_ratio, Rng& rng) {
+  Setup setup(nodes);
+  const auto mask = fault::sample_fault_mask(nodes, fault_ratio, rng);
+  orch::JobSpec job{32, static_cast<int>(nodes * 4 * job_ratio)};
+  const int use = job.gpu_count / job.tp_size_gpus;
+
+  const auto optimized = setup.orchestrator.orchestrate(mask, job);
+  const double opt =
+      dcn::evaluate_cross_tor(setup.fat_tree, optimized, 4, {}, use)
+          .cross_tor_rate();
+  const auto baseline =
+      orch::greedy_baseline(setup.fat_tree, 2, 4, mask, job, rng);
+  const double base =
+      dcn::evaluate_cross_tor(setup.fat_tree, baseline, 4, {}, use)
+          .cross_tor_rate();
+  return {opt, base};
+}
+
+/// Shared sweep driver for one panel: a single axis, paired fold.
+template <typename Trial>
+runtime::GenericSweepResult<RateAcc> panel(std::uint64_t seed, int trials,
+                                           runtime::Axis axis, Trial&& trial,
+                                           int threads) {
+  runtime::SweepSpec spec;
+  spec.seed = seed;
+  spec.trials = trials;
+  spec.keep_samples = false;
+  spec.axes = {std::move(axis)};
+  return runtime::run_sweep_reduce(
+      spec, RateAcc{}, std::forward<Trial>(trial),
+      [](RateAcc& acc, Rates&& r) {
+        acc.optimized.add(r.optimized);
+        acc.baseline.add(r.baseline);
+      },
+      threads, nullptr, &rate_codec());
 }
 
 }  // namespace
@@ -54,17 +110,23 @@ Rates measure(Setup& setup, double fault_ratio, double job_ratio, Rng& rng,
 int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Figure 17a-c: HBD-DCN orchestration cross-ToR rate");
-  const int trials = opt.quick ? 2 : 5;
-  Rng rng(170);
+  const int trials = bench::trials_or(opt, opt.quick ? 2 : 5);
 
   {
     Table table("Fig. 17a: sensitivity to cluster size (job 85%, faults 5%)");
     table.set_header({"Cluster (GPU)", "Baseline", "Optimized"});
-    for (int nodes : {1024, 2048, 3072, 5120}) {
-      Setup setup(nodes);
-      const auto r = measure(setup, 0.05, 0.85, rng, trials);
-      table.add_row({std::to_string(nodes * 4), Table::pct(r.baseline),
-                     Table::pct(r.optimized)});
+    const auto result = panel(
+        170, trials,
+        runtime::Axis::of_values("Nodes", {1024, 2048, 3072, 5120}),
+        [](const runtime::Scenario& s, Rng& rng) {
+          return measure(static_cast<int>(s.value(0)), 0.05, 0.85, rng);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < result.spec.axes[0].size(); ++i) {
+      const auto& c = result.cell({i});
+      table.add_row(
+          {std::to_string(static_cast<int>(result.spec.axes[0].values[i]) * 4),
+           Table::pct(c.baseline.mean()), Table::pct(c.optimized.mean())});
     }
     bench::emit(opt, "fig17a_cluster_size", table);
   }
@@ -72,13 +134,20 @@ int main(int argc, char** argv) {
   {
     Table table("Fig. 17b: impact of job-scale ratio (8192 GPUs, faults 5%)");
     table.set_header({"Job scale", "Baseline", "Optimized", "Paper opt"});
-    Setup setup(2048);
     const char* paper[] = {"~0.5%", "~0.8%", "~1.1%", "1.72%"};
-    int i = 0;
-    for (double ratio : {0.70, 0.80, 0.85, 0.90}) {
-      const auto r = measure(setup, 0.05, ratio, rng, trials);
-      table.add_row({Table::pct(ratio, 0), Table::pct(r.baseline),
-                     Table::pct(r.optimized), paper[i++]});
+    const auto result = panel(
+        171, trials,
+        runtime::Axis::of_values("Job scale", {0.70, 0.80, 0.85, 0.90},
+                                 [](double r) { return Table::pct(r, 0); }),
+        [](const runtime::Scenario& s, Rng& rng) {
+          return measure(2048, 0.05, s.value(0), rng);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < result.spec.axes[0].size(); ++i) {
+      const auto& c = result.cell({i});
+      table.add_row({result.spec.axes[0].labels[i],
+                     Table::pct(c.baseline.mean()),
+                     Table::pct(c.optimized.mean()), paper[i]});
     }
     bench::emit(opt, "fig17b_job_scale", table);
   }
@@ -86,11 +155,20 @@ int main(int argc, char** argv) {
   {
     Table table("Fig. 17c: sensitivity to fault ratio (8192 GPUs, job 85%)");
     table.set_header({"Fault ratio", "Baseline", "Optimized"});
-    Setup setup(2048);
-    for (double f : {0.0, 0.01, 0.03, 0.05, 0.07, 0.08}) {
-      const auto r = measure(setup, f, 0.85, rng, trials);
-      table.add_row({Table::pct(f, 0), Table::pct(r.baseline),
-                     Table::pct(r.optimized)});
+    const auto result = panel(
+        172, trials,
+        runtime::Axis::of_values("Fault ratio",
+                                 {0.0, 0.01, 0.03, 0.05, 0.07, 0.08},
+                                 [](double f) { return Table::pct(f, 0); }),
+        [](const runtime::Scenario& s, Rng& rng) {
+          return measure(2048, s.value(0), 0.85, rng);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < result.spec.axes[0].size(); ++i) {
+      const auto& c = result.cell({i});
+      table.add_row({result.spec.axes[0].labels[i],
+                     Table::pct(c.baseline.mean()),
+                     Table::pct(c.optimized.mean())});
     }
     bench::emit(opt, "fig17c_fault_ratio", table);
   }

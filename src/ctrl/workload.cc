@@ -1,0 +1,38 @@
+#include "src/ctrl/workload.h"
+
+#include <cmath>
+
+#include "src/common/contracts.h"
+
+namespace ihbd::ctrl {
+
+std::vector<JobArrival> generate_workload(const WorkloadConfig& cfg,
+                                          Rng& rng) {
+  IHBD_EXPECTS(cfg.arrival_rate_per_day > 0.0);
+  IHBD_EXPECTS(cfg.duration_days > 0.0);
+  IHBD_EXPECTS(cfg.min_groups >= 1 && cfg.max_groups >= cfg.min_groups);
+  IHBD_EXPECTS(cfg.mean_run_days > 0.0 && cfg.run_sigma >= 0.0);
+  // Lognormal parameterized by its mean: mu = ln(mean) - sigma^2 / 2.
+  const double mu =
+      std::log(cfg.mean_run_days) - 0.5 * cfg.run_sigma * cfg.run_sigma;
+
+  std::vector<JobArrival> arrivals;
+  double day = 0.0;
+  int id = 0;
+  for (;;) {
+    day += rng.exponential(cfg.arrival_rate_per_day);
+    if (day >= cfg.duration_days) break;
+    JobArrival a;
+    a.id = id++;
+    a.day = day;
+    a.tp_size_gpus = cfg.tp_size_gpus;
+    a.groups = cfg.min_groups +
+               static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+                   cfg.max_groups - cfg.min_groups + 1)));
+    a.run_days = rng.lognormal(mu, cfg.run_sigma);
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+}  // namespace ihbd::ctrl

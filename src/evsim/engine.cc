@@ -1,40 +1,75 @@
 #include "src/evsim/engine.h"
 
+#include <limits>
+
 #include "src/common/contracts.h"
 
 namespace ihbd::evsim {
 
-void Engine::schedule_at(SimTime at, EventFn fn) {
+EventId Engine::schedule_at(SimTime at, EventFn fn) {
   IHBD_EXPECTS(at >= now_);
-  queue_.push(Item{at, seq_++, std::move(fn)});
+  const EventId id = next_id_++;
+  live_.emplace(id, 0.0);
+  queue_.push(Item{at, seq_++, id, std::move(fn)});
+  return id;
 }
 
-void Engine::schedule_in(SimTime delay, EventFn fn) {
+EventId Engine::schedule_in(SimTime delay, EventFn fn) {
   IHBD_EXPECTS(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_every(SimTime first_delay, SimTime period,
+                               EventFn fn) {
+  IHBD_EXPECTS(first_delay >= 0.0);
+  IHBD_EXPECTS(period > 0.0);
+  const EventId id = next_id_++;
+  live_.emplace(id, period);
+  queue_.push(Item{now_ + first_delay, seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  ++cancelled_;
+  ++dead_in_queue_;  // exactly one queue entry carries a live id
+  return true;
 }
 
 SimTime Engine::run() {
-  while (!queue_.empty()) {
-    // Copy out; the callback may schedule new events (queue reallocation).
-    Item item = queue_.top();
-    queue_.pop();
-    now_ = item.at;
-    ++executed_;
-    item.fn(*this);
-  }
-  return now_;
+  return run_until(std::numeric_limits<double>::infinity());
 }
 
 SimTime Engine::run_until(SimTime until) {
   while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out; the callback may schedule new events (queue reallocation).
     Item item = queue_.top();
     queue_.pop();
+    const auto it = live_.find(item.id);
+    if (it == live_.end()) {
+      --dead_in_queue_;  // cancelled while queued: drop un-executed
+      continue;
+    }
+    const SimTime period = it->second;
+    if (period == 0.0) live_.erase(it);
     now_ = item.at;
     ++executed_;
     item.fn(*this);
+    // Periodic: re-arm under the same id unless the callback cancelled it
+    // (the cancel dropped it from live_ and pre-counted a dead queue entry
+    // that will never exist — rebalance by not re-pushing).
+    if (period != 0.0) {
+      if (live_.count(item.id) != 0) {
+        queue_.push(Item{now_ + period, seq_++, item.id, std::move(item.fn)});
+      } else {
+        --dead_in_queue_;
+      }
+    }
   }
-  if (now_ < until) now_ = until;
+  if (now_ < until && until < std::numeric_limits<double>::infinity())
+    now_ = until;
   return now_;
 }
 

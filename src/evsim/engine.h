@@ -1,18 +1,25 @@
 // Discrete-event simulation engine.
 //
 // A minimal priority-queue scheduler over simulated seconds. Used by the
-// collective-communication simulator (§5.2 reproduction) and by the OCSTrx
-// reconfiguration state machine to model the 60-80 us switching latency.
+// collective-communication simulator (§5.2 reproduction), by the OCSTrx
+// reconfiguration state machine to model the 60-80 us switching latency,
+// and by the src/ctrl control-plane daemon as its event loop (job
+// arrivals/departures, fault transitions, reconfig batch drains).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 namespace ihbd::evsim {
 
 using SimTime = double;  ///< simulated seconds
+
+/// Handle to a scheduled event or periodic timer, usable with cancel().
+/// Ids are never reused within one Engine.
+using EventId = std::uint64_t;
 
 /// Event callback; runs at its scheduled time with the engine available for
 /// scheduling follow-up events.
@@ -28,26 +35,56 @@ class Engine {
   /// Current simulated time (seconds). 0 before the first event runs.
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute time `at` (>= now()).
-  void schedule_at(SimTime at, EventFn fn);
+  /// Schedule `fn` to run at absolute time `at` (>= now()). The returned id
+  /// stays valid until the event fires or is cancelled.
+  EventId schedule_at(SimTime at, EventFn fn);
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  void schedule_in(SimTime delay, EventFn fn);
+  EventId schedule_in(SimTime delay, EventFn fn);
 
-  /// Run until the event queue drains (or `until` is reached if given).
-  /// Returns the time of the last executed event.
+  /// Schedule `fn` to run every `period` seconds (period > 0), first at
+  /// now() + first_delay (first_delay >= 0), then at fixed period
+  /// increments. The id stays valid across firings; the timer runs until
+  /// cancelled (including from inside its own callback).
+  EventId schedule_every(SimTime first_delay, SimTime period, EventFn fn);
+
+  /// Cancel a pending event or an active periodic timer. Returns true if
+  /// the id was live (the event will not fire again); false if it already
+  /// fired, was already cancelled, or never existed. Safe to call from
+  /// inside event callbacks.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains (or, for run_until, events at times
+  /// <= `until` are exhausted). Returns the final now().
+  ///
+  /// run_until semantics, precisely:
+  ///   * events scheduled exactly AT `until` do run (inclusive bound);
+  ///   * when events remain pending beyond `until`, the engine's clock is
+  ///     still advanced to exactly `until` (final now() == until), so a
+  ///     subsequent schedule_in() is relative to the horizon, not to the
+  ///     last executed event;
+  ///   * when the queue drains before `until`, now() is likewise left at
+  ///     `until`, never beyond it;
+  ///   * run_until never runs backwards: a horizon below now() leaves the
+  ///     clock untouched and executes nothing.
   SimTime run();
   SimTime run_until(SimTime until);
 
-  /// Number of events executed so far.
+  /// Number of events executed so far. Cancelled events never count;
+  /// each firing of a periodic timer counts once.
   std::uint64_t executed() const { return executed_; }
-  /// Number of events still pending.
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of events still pending: cancelled-but-not-yet-popped queue
+  /// entries are excluded, and an active periodic timer counts exactly
+  /// once (its next occurrence).
+  std::size_t pending() const { return queue_.size() - dead_in_queue_; }
+  /// Number of events cancelled so far (periodic timers count once).
+  std::uint64_t cancelled() const { return cancelled_; }
 
  private:
   struct Item {
     SimTime at;
-    std::uint64_t seq;  // FIFO tie-break
+    std::uint64_t seq;  // FIFO tie-break (fresh per firing)
+    EventId id;
     EventFn fn;
   };
   struct Later {
@@ -57,10 +94,18 @@ class Engine {
     }
   };
 
+  /// Live-event table: id -> period (0 = one-shot). An id absent from the
+  /// table but still in the queue was cancelled; the queue entry is dropped
+  /// un-executed when it surfaces.
+  std::unordered_map<EventId, SimTime> live_;
+
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t dead_in_queue_ = 0;
 };
 
 }  // namespace ihbd::evsim

@@ -1,0 +1,42 @@
+#include "src/ocstrx/reconfig_queue.h"
+
+namespace ihbd::ocstrx {
+
+bool ReconfigQueue::enqueue(int node, const std::string& session, double now) {
+  const auto it = by_node_.find(node);
+  if (it != by_node_.end()) {
+    // Coalesce: retarget the queued request, keep its position and its
+    // original enqueue time (the oldest waiter defines the wait).
+    it->second->session = session;
+    ++coalesced_;
+    return false;
+  }
+  queue_.push_back(ReconfigRequest{node, session, now});
+  by_node_.emplace(node, std::prev(queue_.end()));
+  ++enqueued_;
+  return true;
+}
+
+std::vector<ReconfigOutcome> ReconfigQueue::drain_batch(
+    std::vector<NodeFabricManager>& fleet, double now, Rng& rng) {
+  std::vector<ReconfigOutcome> out;
+  while (!queue_.empty() && out.size() < max_batch_) {
+    ReconfigOutcome oc;
+    oc.request = std::move(queue_.front());
+    oc.drained_at = now;
+    by_node_.erase(oc.request.node);
+    queue_.pop_front();
+    if (oc.request.node >= 0 &&
+        oc.request.node < static_cast<int>(fleet.size())) {
+      oc.switch_latency_s =
+          fleet[static_cast<std::size_t>(oc.request.node)].apply_session(
+              oc.request.session, rng);
+    }
+    ++drained_;
+    if (!oc.ok()) ++failed_;
+    out.push_back(std::move(oc));
+  }
+  return out;
+}
+
+}  // namespace ihbd::ocstrx

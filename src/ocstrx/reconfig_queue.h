@@ -1,0 +1,89 @@
+// Batched OCS reconfiguration queue (control-plane side of §5.2 / G.1).
+//
+// The always-on control plane does not steer bundles synchronously: every
+// placement change (job start, fault re-orchestration, repair) enqueues a
+// per-node reconfiguration request — "apply preloaded session S on node n"
+// — and a drain event applies a FIFO batch against the node fabric
+// managers. Two properties matter at fleet scale:
+//
+//   * COALESCING: while a request for node n is still queued, a newer
+//     request for n replaces its target session in place. The node
+//     switches once, to the latest target, but the request keeps its
+//     original queue position and enqueue time — whoever started waiting
+//     first has been waiting since then, and that wait is what the
+//     ctrl.reconfig_latency histogram must see.
+//   * BATCHING: drain_batch() pops at most `max_batch` requests per call,
+//     modelling a fabric-manager RPC fan-out budget per drain tick; the
+//     control plane re-arms drain events while the queue stays non-empty.
+//
+// The queue itself is pure bookkeeping (deterministic, no engine or obs
+// dependency); src/ctrl owns the drain cadence and the metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ocstrx/fabric_manager.h"
+
+namespace ihbd::ocstrx {
+
+/// One queued "apply session on node" request.
+struct ReconfigRequest {
+  int node = 0;
+  std::string session;
+  double enqueued_at = 0.0;  ///< caller's clock (the ctrl plane uses days)
+};
+
+/// Outcome of one drained request.
+struct ReconfigOutcome {
+  ReconfigRequest request;
+  double drained_at = 0.0;
+  /// Node-level hardware switch latency in seconds (preloaded fast path),
+  /// or nullopt when the session was unknown / a touched bundle had failed.
+  std::optional<double> switch_latency_s;
+
+  bool ok() const { return switch_latency_s.has_value(); }
+};
+
+/// FIFO reconfiguration queue with per-node coalescing and batched drains.
+class ReconfigQueue {
+ public:
+  explicit ReconfigQueue(std::size_t max_batch = 64) : max_batch_(max_batch) {}
+
+  /// Queue (or coalesce) a request for `node`. Returns true when a new
+  /// entry was created, false when an in-queue request was coalesced.
+  bool enqueue(int node, const std::string& session, double now);
+
+  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t max_batch() const { return max_batch_; }
+
+  /// Lifetime counters (monotonic).
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t coalesced() const { return coalesced_; }
+  std::uint64_t drained() const { return drained_; }
+  std::uint64_t failed() const { return failed_; }
+
+  /// Pop up to max_batch() requests in FIFO order and apply each to its
+  /// node's fabric manager (preloaded fast path). `fleet` is indexed by
+  /// node id; out-of-range nodes and unknown sessions report !ok().
+  std::vector<ReconfigOutcome> drain_batch(std::vector<NodeFabricManager>& fleet,
+                                           double now, Rng& rng);
+
+ private:
+  std::size_t max_batch_;
+  std::list<ReconfigRequest> queue_;
+  std::unordered_map<int, std::list<ReconfigRequest>::iterator> by_node_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace ihbd::ocstrx

@@ -78,6 +78,10 @@ class FatTreeOrchestrator {
 
   int subline_chunk_len() const { return chunk_len_; }
   int gpus_per_node() const { return gpus_per_node_; }
+  int k() const { return k_; }
+  const dcn::FatTree& fat_tree() const { return fat_tree_; }
+  /// S_deploy: the Algorithm-3 deployment order place() carves chunks from.
+  const std::vector<int>& deployment() const { return deploy_; }
 
  private:
   const dcn::FatTree& fat_tree_;

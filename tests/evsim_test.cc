@@ -77,5 +77,136 @@ TEST(Engine, RunOnEmptyQueueIsNoop) {
   EXPECT_EQ(e.executed(), 0u);
 }
 
+// --- run_until semantics (documented contract) ------------------------------
+
+TEST(RunUntil, EventExactlyAtHorizonRuns) {
+  Engine e;
+  int ran = 0;
+  e.schedule_at(2.0, [&](Engine&) { ++ran; });
+  e.run_until(2.0);  // inclusive bound
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(RunUntil, ClockAdvancesToHorizonWithEventsStillPending) {
+  Engine e;
+  e.schedule_at(10.0, [](Engine&) {});
+  e.run_until(4.0);
+  // The pending event did not run, but now() is exactly the horizon so a
+  // follow-up schedule_in is relative to it.
+  EXPECT_EQ(e.executed(), 0u);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);
+  double seen = -1.0;
+  e.schedule_in(1.0, [&](Engine& eng) { seen = eng.now(); });
+  e.run_until(5.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_EQ(e.pending(), 1u);  // the 10.0 event still waits
+}
+
+TEST(RunUntil, DrainedQueueStillLandsOnHorizon) {
+  Engine e;
+  e.schedule_at(1.0, [](Engine&) {});
+  e.run_until(7.0);
+  EXPECT_DOUBLE_EQ(e.now(), 7.0);  // not 1.0, and never beyond 7.0
+}
+
+TEST(RunUntil, HorizonBelowNowIsNoop) {
+  Engine e;
+  e.schedule_at(5.0, [](Engine&) {});
+  e.run_until(5.0);
+  e.schedule_at(8.0, [](Engine&) {});
+  e.run_until(3.0);  // backwards horizon: nothing runs, clock untouched
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+// --- cancellable events -----------------------------------------------------
+
+TEST(Cancel, PendingEventNeverRuns) {
+  Engine e;
+  int ran = 0;
+  const EventId id = e.schedule_at(1.0, [&](Engine&) { ++ran; });
+  e.schedule_at(2.0, [&](Engine&) { ++ran; });
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 1u);  // drops immediately, before the pop
+  EXPECT_EQ(e.cancelled(), 1u);
+  e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.executed(), 1u);  // cancelled events never count as executed
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Cancel, ReturnsFalseForDeadOrUnknownIds) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [](Engine&) {});
+  EXPECT_FALSE(e.cancel(id + 100));  // never existed
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // already cancelled
+  const EventId fired = e.schedule_at(2.0, [](Engine&) {});
+  e.run();
+  EXPECT_FALSE(e.cancel(fired));  // already fired
+}
+
+TEST(Cancel, FromInsideAnotherCallback) {
+  Engine e;
+  int ran = 0;
+  const EventId victim = e.schedule_at(2.0, [&](Engine&) { ++ran; });
+  e.schedule_at(1.0, [&](Engine& eng) { EXPECT_TRUE(eng.cancel(victim)); });
+  e.run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+// --- periodic timers --------------------------------------------------------
+
+TEST(Periodic, FiresAtFixedCadenceUntilCancelled) {
+  Engine e;
+  std::vector<double> at;
+  const EventId id =
+      e.schedule_every(1.0, 2.0, [&](Engine& eng) { at.push_back(eng.now()); });
+  e.run_until(7.0);
+  EXPECT_EQ(at, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+  EXPECT_EQ(e.executed(), 4u);
+  EXPECT_EQ(e.pending(), 1u);  // the next occurrence counts exactly once
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_EQ(e.executed(), 4u);
+}
+
+TEST(Periodic, SelfCancelStopsTheTimer) {
+  Engine e;
+  int fired = 0;
+  EventId id = 0;
+  id = e.schedule_every(1.0, 1.0, [&](Engine& eng) {
+    if (++fired == 3) EXPECT_TRUE(eng.cancel(id));
+  });
+  e.run();  // would never drain if the timer kept re-arming
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.executed(), 3u);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.cancelled(), 1u);
+}
+
+TEST(Periodic, InterleavesFifoWithOneShots) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_every(1.0, 1.0, [&](Engine& eng) {
+    order.push_back(100 + static_cast<int>(eng.now()));
+    if (eng.now() >= 3.0) eng.cancel(1);  // first id handed out
+  });
+  e.schedule_at(2.0, [&](Engine&) { order.push_back(2); });
+  // Same-time tie: the periodic's occurrence at 2.0 was re-armed at 1.0,
+  // AFTER the one-shot was scheduled, so the one-shot runs first.
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{101, 2, 102, 103}));
+}
+
 }  // namespace
 }  // namespace ihbd::evsim

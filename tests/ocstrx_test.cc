@@ -4,6 +4,7 @@
 #include "src/evsim/engine.h"
 #include "src/ocstrx/bundle.h"
 #include "src/ocstrx/fabric_manager.h"
+#include "src/ocstrx/reconfig_queue.h"
 #include "src/ocstrx/transceiver.h"
 
 namespace ihbd::ocstrx {
@@ -202,6 +203,87 @@ TEST(FabricManager, HealthTracksBundles) {
   EXPECT_FALSE(fm.healthy());
   fm.bundle(2).repair();
   EXPECT_TRUE(fm.healthy());
+}
+
+std::vector<NodeFabricManager> test_fleet(int nodes) {
+  std::vector<NodeFabricManager> fleet;
+  fleet.reserve(static_cast<std::size_t>(nodes));
+  Session ring;
+  ring[0] = OcsPath::kExternal1;
+  ring[1] = OcsPath::kExternal2;
+  Session park;
+  park[0] = OcsPath::kLoopback;
+  park[1] = OcsPath::kLoopback;
+  for (int n = 0; n < nodes; ++n) {
+    fleet.emplace_back(4, 2, 1);
+    fleet.back().preload_session("ring", ring);
+    fleet.back().preload_session("park", park);
+  }
+  return fleet;
+}
+
+TEST(ReconfigQueue, DrainsFifoWithinBatchBudget) {
+  auto fleet = test_fleet(8);
+  ReconfigQueue q(/*max_batch=*/3);
+  Rng rng(1);
+  for (int n = 0; n < 5; ++n) EXPECT_TRUE(q.enqueue(n, "ring", 1.0 + n));
+  EXPECT_EQ(q.pending(), 5u);
+
+  const auto first = q.drain_batch(fleet, 10.0, rng);
+  ASSERT_EQ(first.size(), 3u);  // batch budget caps the drain
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)].request.node, i);
+    EXPECT_TRUE(first[static_cast<std::size_t>(i)].ok());
+    EXPECT_LE(*first[static_cast<std::size_t>(i)].switch_latency_s, 80e-6);
+    EXPECT_DOUBLE_EQ(first[static_cast<std::size_t>(i)].drained_at, 10.0);
+  }
+  EXPECT_EQ(q.pending(), 2u);
+  const auto rest = q.drain_batch(fleet, 11.0, rng);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].request.node, 3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.drained(), 5u);
+  EXPECT_EQ(q.failed(), 0u);
+}
+
+TEST(ReconfigQueue, CoalescesPerNodeKeepingOldestWait) {
+  auto fleet = test_fleet(4);
+  ReconfigQueue q;
+  Rng rng(1);
+  EXPECT_TRUE(q.enqueue(2, "ring", 1.0));
+  EXPECT_TRUE(q.enqueue(0, "ring", 2.0));
+  // Retarget node 2 while queued: no new entry, position and enqueue time
+  // stay those of the original request, target becomes the latest ask.
+  EXPECT_FALSE(q.enqueue(2, "park", 3.0));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.coalesced(), 1u);
+
+  const auto out = q.drain_batch(fleet, 5.0, rng);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].request.node, 2);
+  EXPECT_EQ(out[0].request.session, "park");
+  EXPECT_DOUBLE_EQ(out[0].request.enqueued_at, 1.0);
+  // Once drained, the node can be queued afresh.
+  EXPECT_TRUE(q.enqueue(2, "ring", 6.0));
+}
+
+TEST(ReconfigQueue, ReportsFailuresWithoutStalling) {
+  auto fleet = test_fleet(3);
+  fleet[1].bundle(0).fail();
+  ReconfigQueue q;
+  Rng rng(1);
+  q.enqueue(0, "ring", 0.0);
+  q.enqueue(1, "ring", 0.0);   // touched bundle failed -> !ok()
+  q.enqueue(2, "nope", 0.0);   // unknown session -> !ok()
+  q.enqueue(99, "ring", 0.0);  // out-of-fleet node -> !ok()
+  const auto out = q.drain_batch(fleet, 1.0, rng);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_FALSE(out[1].ok());
+  EXPECT_FALSE(out[2].ok());
+  EXPECT_FALSE(out[3].ok());
+  EXPECT_EQ(q.failed(), 3u);
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

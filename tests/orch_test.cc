@@ -3,7 +3,9 @@
 #include <set>
 
 #include "src/common/error.h"
+#include "src/common/rng.h"
 #include "src/fault/trace.h"
+#include "src/orch/incremental.h"
 #include "src/orch/orchestrator.h"
 
 namespace ihbd::orch {
@@ -153,6 +155,129 @@ TEST(Orchestrator, PlacedNodesAreHealthyAndUnique) {
       EXPECT_TRUE(seen.insert(node).second) << "node reused: " << node;
     }
   }
+}
+
+TEST(Orchestrator, AllFaultyMaskPlacesNothing) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, true);
+  JobSpec job{32, 0};
+  // Every constraint level, including the relaxed floor, must carve zero
+  // groups — and never touch out-of-range deploy windows doing so.
+  for (int c : {0, 1, ft.domain_count(), orch.max_constraints()}) {
+    const auto placement = orch.place(faulty, job, c);
+    EXPECT_TRUE(placement.groups.empty()) << "constraints " << c;
+    EXPECT_EQ(placement.gpu_count(4), 0) << "constraints " << c;
+  }
+}
+
+TEST(Orchestrator, JobScaleEqualToFullCluster) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  std::vector<bool> faulty(1024, false);
+  JobSpec job{32, 1024 * 4};  // s = every GPU in the cluster
+  // A healthy cluster can place the full-scale job even fully aligned.
+  const auto placement = orch.orchestrate(faulty, job);
+  EXPECT_EQ(placement.gpu_count(4), 1024 * 4);
+  // One faulty node makes the full-cluster scale infeasible at every
+  // constraint level.
+  faulty[500] = true;
+  EXPECT_THROW(orch.orchestrate(faulty, job), InfeasibleError);
+}
+
+TEST(DcnFree, HopReachAtLeastNodeCountBridgesAnyGap) {
+  // k >= node count: every healthy pair is "adjacent", so one component
+  // spans the whole line no matter how faults are scattered.
+  std::vector<int> order(12);
+  for (int i = 0; i < 12; ++i) order[i] = i;
+  std::vector<bool> faulty(12, false);
+  faulty[1] = faulty[2] = faulty[3] = faulty[4] = faulty[5] = true;
+  const auto groups = orchestrate_dcn_free(order, 12, faulty, 3);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{0, 6, 7}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{8, 9, 10}));
+  // And a K far beyond the line length behaves identically.
+  EXPECT_EQ(orchestrate_dcn_free(order, 1 << 20, faulty, 3).size(), 2u);
+}
+
+TEST(ChunkAligned, ChunkShorterThanGroupYieldsNothingAligned) {
+  // chunk length 5 < m = 8: pass 1 has no whole aligned window; pass 2
+  // cannot tile a whole group either -> empty carve.
+  std::vector<int> chunk{0, 1, 2, 3, 4};
+  std::vector<bool> faulty(5, false);
+  const auto carved = orchestrate_chunk_aligned(chunk, 2, faulty, 8);
+  EXPECT_TRUE(carved.groups.empty());
+  EXPECT_TRUE(carved.aligned_pos.empty());
+  // m == chunk length is the boundary: exactly one aligned group.
+  const auto exact = orchestrate_chunk_aligned(chunk, 2, faulty, 5);
+  ASSERT_EQ(exact.groups.size(), 1u);
+  EXPECT_EQ(exact.aligned_pos[0], 0);
+}
+
+// --- incremental re-orchestration -------------------------------------------
+
+void expect_same_placement(const dcn::PlacementScheme& a,
+                           const dcn::PlacementScheme& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].group.nodes, b.groups[i].group.nodes) << "group " << i;
+    EXPECT_EQ(a.groups[i].subline, b.groups[i].subline) << "group " << i;
+    EXPECT_EQ(a.groups[i].domain, b.groups[i].domain) << "group " << i;
+    EXPECT_EQ(a.groups[i].pos, b.groups[i].pos) << "group " << i;
+  }
+}
+
+TEST(Incremental, MatchesFromScratchPlaceAcrossFlipWalk) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  JobSpec job{32, 0};
+  Rng rng(41);
+  // Every constraint regime: relaxed floor, chunk-only, partially aligned,
+  // fully aligned.
+  for (int c : {0, 16, orch.max_constraints() - 8, orch.max_constraints()}) {
+    std::vector<bool> mask(1024, false);
+    IncrementalPlacement inc(orch, job, c, mask);
+    expect_same_placement(inc.placement(), orch.place(mask, job, c));
+    for (int step = 0; step < 60; ++step) {
+      const int node = static_cast<int>(rng.uniform_index(1024));
+      const bool to = !mask[static_cast<std::size_t>(node)];
+      mask[static_cast<std::size_t>(node)] = to;
+      inc.set_faulty(node, to);
+      const auto oracle = orch.place(mask, job, c);
+      expect_same_placement(inc.placement(), oracle);
+      EXPECT_EQ(inc.gpu_count(), oracle.gpu_count(4));
+    }
+  }
+}
+
+TEST(Incremental, DeltaReportsTrueChurnOnly) {
+  const auto ft = test_tree();
+  FatTreeOrchestrator orch(ft, 2, 4);
+  JobSpec job{32, 0};
+  std::vector<bool> mask(1024, false);
+  IncrementalPlacement inc(orch, job, orch.max_constraints(), mask);
+  const int before = inc.group_count();
+
+  // Failing one node in an aligned domain kills its ToR's aligned windows.
+  auto delta = inc.set_faulty(40, true);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_GT(delta.removed.size(), delta.added.size());
+  EXPECT_EQ(inc.group_count(),
+            before - static_cast<int>(delta.removed.size()) +
+                static_cast<int>(delta.added.size()));
+  // A second fault in the SAME ToR changes nothing: the ToR was already
+  // expanded-faulty, so the carve is untouched and the delta is empty.
+  EXPECT_TRUE(inc.set_faulty(41, true).empty());
+  // Idempotent no-op flip.
+  EXPECT_TRUE(inc.set_faulty(40, true).empty());
+  // Repairing node 40 alone keeps the ToR faulty (41 still down): no churn.
+  EXPECT_TRUE(inc.set_faulty(40, false).empty());
+  // Repairing the last fault restores the original carve exactly.
+  delta = inc.set_faulty(41, false);
+  EXPECT_GT(delta.added.size(), delta.removed.size());
+  EXPECT_EQ(inc.group_count(), before);
+  expect_same_placement(inc.placement(), orch.place(mask, job,
+                                                    orch.max_constraints()));
 }
 
 TEST(Greedy, ProducesFeasiblePlacement) {
