@@ -4,10 +4,16 @@
 // latency — plus event throughput and churn counters.
 //
 // Each (cell, trial) is one full daemon run: a paper-calibrated fault trace
-// (src/fault/generator.h) and a Poisson job workload are generated from the
-// trial's RNG substream, then ControlPlane::run() consumes every event up
-// to the horizon. Full mode's largest cell (10,240 nodes at 75% offered
-// load over 96 days) processes >= 1M engine events in a single run.
+// (--trace-model poisson|physics|storm) and a Poisson job workload are
+// generated from the trial's RNG substream, then ControlPlane::run()
+// consumes every event up to the horizon. Full mode's largest cell (10,240
+// nodes at 75% offered load over 96 days) processes >= 1M engine events in
+// a single run.
+//
+// The Inject axis exercises the retry/backoff path: at a 10% session-switch
+// failure rate every run still completes — failed steers back off, retry,
+// and eventually dead-letter, while jobs start on their last good placement
+// (degraded). The degraded-mode SLO split is reported separately.
 //
 // Runs on runtime::run_sweep_reduce with a ControlPlaneResult shard codec:
 // the SLO tables are byte-identical for any --threads value and any
@@ -22,6 +28,7 @@
 #include "src/ctrl/control_plane.h"
 #include "src/ctrl/workload.h"
 #include "src/fault/generator.h"
+#include "src/fault/physics_generator.h"
 #include "src/runtime/sweep.h"
 
 using namespace ihbd;
@@ -42,8 +49,32 @@ double arrival_rate(const ctrl::WorkloadConfig& wl, int nodes,
   return utilization * capacity_groups / (wl.mean_run_days * mean_groups);
 }
 
+fault::FaultTrace make_trial_trace(fault::TraceModel model, int nodes,
+                                   double duration_days, std::uint64_t seed) {
+  switch (model) {
+    case fault::TraceModel::kPhysics:
+    case fault::TraceModel::kStorm: {
+      fault::PhysicsTraceConfig cfg = model == fault::TraceModel::kStorm
+                                          ? fault::storm_trace_defaults()
+                                          : fault::physics_trace_defaults();
+      cfg.node_count = nodes;
+      cfg.duration_days = duration_days;
+      cfg.seed = seed;
+      return fault::generate_physics_trace(cfg);
+    }
+    case fault::TraceModel::kPoisson:
+      break;
+  }
+  fault::TraceGenConfig tg;  // paper-calibrated fault statistics
+  tg.node_count = nodes;
+  tg.duration_days = duration_days;
+  tg.seed = seed;
+  return fault::generate_trace(tg);
+}
+
 ctrl::ControlPlaneResult run_trial(int nodes, double utilization,
-                                   double duration_days, Rng& rng) {
+                                   double inject_rate, double duration_days,
+                                   fault::TraceModel model, Rng& rng) {
   ctrl::ControlPlaneConfig cfg;
   cfg.node_count = nodes;
   cfg.nodes_per_tor = 4;
@@ -61,18 +92,18 @@ ctrl::ControlPlaneResult run_trial(int nodes, double utilization,
     cfg.n_constraints = probe_orch.max_constraints() / 2;
   }
 
-  fault::TraceGenConfig tg;  // paper-calibrated fault statistics
-  tg.node_count = nodes;
-  tg.duration_days = duration_days;
-  tg.seed = rng.next();
+  const std::uint64_t trace_seed = rng.next();
   cfg.seed = rng.next();
+  cfg.inject.session_failure_rate = inject_rate;
+  cfg.inject.seed = rng.next();
 
   ctrl::WorkloadConfig wl;
   wl.duration_days = duration_days;
   wl.tp_size_gpus = cfg.gpus_per_node * 8;  // m = 8 nodes per TP group
   wl.arrival_rate_per_day = arrival_rate(wl, nodes, 8, utilization);
 
-  const fault::FaultTrace trace = fault::generate_trace(tg);
+  const fault::FaultTrace trace =
+      make_trial_trace(model, nodes, duration_days, trace_seed);
   return ctrl::run_control_plane(cfg, trace,
                                  ctrl::generate_workload(wl, rng));
 }
@@ -85,7 +116,9 @@ std::string quantile_s(const ctrl::SloHistogram& h, double q) {
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
-  bench::banner("Control plane: event-driven orchestration service SLOs");
+  bench::banner(std::string("Control plane: event-driven orchestration "
+                            "service SLOs (trace model: ") +
+                fault::trace_model_name(opt.trace_model) + ")");
   const int trials = bench::trials_or(opt, opt.quick ? 2 : 3);
   const BenchScale scale = opt.quick
                                ? BenchScale{6.0, {256, 512}}
@@ -95,6 +128,9 @@ int main(int argc, char** argv) {
   spec.seed = 90;
   spec.trials = trials;
   spec.keep_samples = false;
+  // The trace model changes every trial's trace, so it must also change the
+  // sweep identity (a --shard-dir run dir must never mix models).
+  spec.fingerprint_salt = static_cast<std::uint64_t>(opt.trace_model) + 1;
   spec.axes = {
       runtime::Axis::of_values("Nodes", scale.node_counts,
                                [](double n) {
@@ -108,6 +144,11 @@ int main(int argc, char** argv) {
       // beyond ~0.8 the queue no longer drains between incidents.
       runtime::Axis::of_values("Load", {0.45, 0.75},
                                [](double u) { return Table::pct(u, 0); }),
+      // Injected session-switch failure rate: 0 is the clean baseline, 10%
+      // stress-tests retry/backoff + graceful degradation (the acceptance
+      // bar: every run completes, retries converge, SLO split is stable).
+      runtime::Axis::of_values("Inject", {0.0, 0.10},
+                               [](double r) { return Table::pct(r, 0); }),
   };
 
   const runtime::shard::ShardCodec<ctrl::ControlPlaneResult> codec{
@@ -122,7 +163,8 @@ int main(int argc, char** argv) {
       spec, ctrl::ControlPlaneResult{},
       [&](const runtime::Scenario& s, Rng& rng) {
         return run_trial(static_cast<int>(s.value(0)), s.value(1),
-                         scale.duration_days, rng);
+                         s.value(2), scale.duration_days, opt.trace_model,
+                         rng);
       },
       [](ctrl::ControlPlaneResult& acc, ctrl::ControlPlaneResult&& r) {
         acc.merge(r);
@@ -136,43 +178,81 @@ int main(int argc, char** argv) {
     Table table("Control-plane SLOs (job wait = submit -> running, incl. "
                 "reconfig drain; " +
                 std::to_string(trials) + " trials/cell)");
-    table.set_header({"Nodes", "Load", "Wait p50", "Wait p99", "Wait p999",
-                      "Reconf p50", "Reconf p99", "Reconf p999"});
+    table.set_header({"Nodes", "Load", "Inject", "Wait p50", "Wait p99",
+                      "Wait p999", "Reconf p50", "Reconf p99",
+                      "Reconf p999"});
     for (std::size_t ni = 0; ni < spec.axes[0].size(); ++ni) {
       for (std::size_t ui = 0; ui < spec.axes[1].size(); ++ui) {
-        const auto& c = result.cell({ni, ui});
-        table.add_row({spec.axes[0].labels[ni], spec.axes[1].labels[ui],
-                       quantile_s(c.job_wait_s, 0.50),
-                       quantile_s(c.job_wait_s, 0.99),
-                       quantile_s(c.job_wait_s, 0.999),
-                       quantile_s(c.reconfig_latency_s, 0.50),
-                       quantile_s(c.reconfig_latency_s, 0.99),
-                       quantile_s(c.reconfig_latency_s, 0.999)});
+        for (std::size_t fi = 0; fi < spec.axes[2].size(); ++fi) {
+          const auto& c = result.cell({ni, ui, fi});
+          table.add_row({spec.axes[0].labels[ni], spec.axes[1].labels[ui],
+                         spec.axes[2].labels[fi],
+                         quantile_s(c.job_wait_s, 0.50),
+                         quantile_s(c.job_wait_s, 0.99),
+                         quantile_s(c.job_wait_s, 0.999),
+                         quantile_s(c.reconfig_latency_s, 0.50),
+                         quantile_s(c.reconfig_latency_s, 0.99),
+                         quantile_s(c.reconfig_latency_s, 0.999)});
+        }
       }
     }
     bench::emit(opt, "ctrl_plane_slo", table);
+  }
+
+  {
+    // The robustness split: what the 10%-inject cells actually paid.
+    // Degraded wait = jobs that started with >= 1 steer given up; retried
+    // reconfig latency = successes that needed >= 1 retry. "Pend end" are
+    // requests still backing off at the horizon (never a stall: the run
+    // completed around them).
+    Table table("Degraded-mode SLOs and retry/dead-letter accounting (" +
+                std::to_string(trials) + " trials/cell)");
+    table.set_header({"Nodes", "Load", "Inject", "Degr wait p50",
+                      "Degr wait p99", "Retry reconf p99", "Degr starts",
+                      "Retried", "Dead", "Injected", "Pend end"});
+    for (std::size_t ni = 0; ni < spec.axes[0].size(); ++ni) {
+      for (std::size_t ui = 0; ui < spec.axes[1].size(); ++ui) {
+        for (std::size_t fi = 0; fi < spec.axes[2].size(); ++fi) {
+          const auto& c = result.cell({ni, ui, fi});
+          table.add_row({spec.axes[0].labels[ni], spec.axes[1].labels[ui],
+                         spec.axes[2].labels[fi],
+                         quantile_s(c.job_wait_degraded_s, 0.50),
+                         quantile_s(c.job_wait_degraded_s, 0.99),
+                         quantile_s(c.reconfig_latency_retried_s, 0.99),
+                         std::to_string(c.degraded_starts),
+                         std::to_string(c.reconfig_retried),
+                         std::to_string(c.reconfig_dead_lettered),
+                         std::to_string(c.reconfig_injected),
+                         std::to_string(c.reconfig_pending_end)});
+        }
+      }
+    }
+    bench::emit(opt, "ctrl_plane_degraded", table);
   }
 
   std::uint64_t total_events = 0, max_cell_events = 0;
   {
     Table table("Control-plane throughput and churn (events = engine events "
                 "executed, summed over trials)");
-    table.set_header({"Nodes", "Load", "Events", "Arrivals", "Done",
-                      "Preempt", "Churn", "Coalesced", "Peak queue"});
+    table.set_header({"Nodes", "Load", "Inject", "Events", "Arrivals",
+                      "Done", "Preempt", "Churn", "Coalesced", "Peak queue"});
     for (std::size_t ni = 0; ni < spec.axes[0].size(); ++ni) {
       for (std::size_t ui = 0; ui < spec.axes[1].size(); ++ui) {
-        const auto& c = result.cell({ni, ui});
-        total_events += c.events;
-        if (trials > 0)
-          max_cell_events = std::max(max_cell_events, c.events /
-                                     static_cast<std::uint64_t>(trials));
-        table.add_row({spec.axes[0].labels[ni], spec.axes[1].labels[ui],
-                       std::to_string(c.events), std::to_string(c.arrivals),
-                       std::to_string(c.completions),
-                       std::to_string(c.preemptions),
-                       std::to_string(c.placement_churn),
-                       std::to_string(c.reconfig_coalesced),
-                       std::to_string(c.peak_reconfig_depth)});
+        for (std::size_t fi = 0; fi < spec.axes[2].size(); ++fi) {
+          const auto& c = result.cell({ni, ui, fi});
+          total_events += c.events;
+          if (trials > 0)
+            max_cell_events = std::max(max_cell_events, c.events /
+                                       static_cast<std::uint64_t>(trials));
+          table.add_row({spec.axes[0].labels[ni], spec.axes[1].labels[ui],
+                         spec.axes[2].labels[fi],
+                         std::to_string(c.events), std::to_string(c.arrivals),
+                         std::to_string(c.completions),
+                         std::to_string(c.preemptions),
+                         std::to_string(c.placement_churn),
+                         std::to_string(c.reconfig_coalesced),
+                         std::to_string(c.peak_reconfig_depth)});
+        }
       }
     }
     bench::emit(opt, "ctrl_plane_throughput", table);

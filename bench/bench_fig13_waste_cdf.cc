@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Figures 13 & 21: GPU waste ratio CDF over production trace");
 
-  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto trace = bench::make_sim_trace(opt.quick, opt.trace_model);
   const auto archs = bench::make_archs();
 
   const auto grid =

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Figure 15: maximal job scale supported by 2,880 GPUs");
 
-  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto trace = bench::make_sim_trace(opt.quick, opt.trace_model);
   const auto archs = bench::make_archs();
 
   // keep_samples=false: only the usable-GPUs series feeds the quantile.

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Figures 16 & 23: job fault-waiting rate vs job scale");
 
-  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto trace = bench::make_sim_trace(opt.quick, opt.trace_model);
   const auto archs = bench::make_archs();
 
   // Only the usable-GPU series is read, so skip the waste samples.

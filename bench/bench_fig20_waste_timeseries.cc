@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_args(argc, argv);
   bench::banner("Figure 20: waste ratio over production-trace time");
 
-  const auto trace = bench::make_sim_trace(opt.quick);
+  const auto trace = bench::make_sim_trace(opt.quick, opt.trace_model);
   const auto archs = bench::make_archs();
 
   // Representative TP pair of the paper's plot.

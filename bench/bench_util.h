@@ -17,6 +17,7 @@
 
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/fault/physics_generator.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/shard.h"
@@ -37,6 +38,13 @@ struct Options {
   /// the per-node flip-list pipeline — output is bit-identical either way
   /// (CI diffs the two).
   bool packed = true;
+  /// --trace-model poisson|physics|storm: which synthetic fault-trace
+  /// family the fault benches replay (src/fault/generator.h Poisson draws
+  /// vs src/fault/physics_generator.h degradation / degradation+storms).
+  /// All three are calibrated to the paper's Appendix A statistics; output
+  /// stays byte-identical across threads/packed/incremental/shards within
+  /// any one model.
+  fault::TraceModel trace_model = fault::TraceModel::kPoisson;
   /// --metrics: enable the src/obs metrics registry; at exit, print the
   /// snapshot table to stderr and write metrics.json (into --csv dir when
   /// given, else the working directory).
@@ -73,6 +81,9 @@ inline const char* usage_text() {
       "                      is bit-identical either way\n"
       "  --packed 0|1        word-parallel packed-mask replay (default 1);\n"
       "                      output is bit-identical either way\n"
+      "  --trace-model M     fault-trace family: poisson (default) | physics\n"
+      "                      (degradation + thermal bursts) | storm (adds\n"
+      "                      correlated blast-radius failures)\n"
       "  --metrics           collect src/obs metrics; print a snapshot table\n"
       "                      to stderr and write metrics.json at exit\n"
       "  --trace-out <file>  record spans; write a Perfetto / Chrome\n"
@@ -116,6 +127,17 @@ inline bool parse_bool01(const char* prog, const std::string& flag,
   if (value != "0" && value != "1")
     usage_error(prog, flag + " expects 0 or 1, got '" + value + "'");
   return value == "1";
+}
+
+inline fault::TraceModel parse_trace_model(const char* prog,
+                                           const std::string& flag,
+                                           const char* text) {
+  const std::string value = text;
+  if (value == "poisson") return fault::TraceModel::kPoisson;
+  if (value == "physics") return fault::TraceModel::kPhysics;
+  if (value == "storm") return fault::TraceModel::kStorm;
+  usage_error(prog,
+              flag + " expects poisson|physics|storm, got '" + value + "'");
 }
 
 inline int parse_positive_int(const char* prog, const std::string& flag,
@@ -180,6 +202,10 @@ inline Options parse_args(int argc, char** argv) {
     } else if (arg == "--packed") {
       if (++i >= argc) detail::usage_error(prog, "--packed expects 0 or 1");
       opt.packed = detail::parse_bool01(prog, arg, argv[i]);
+    } else if (arg == "--trace-model") {
+      if (++i >= argc)
+        detail::usage_error(prog, "--trace-model expects poisson|physics|storm");
+      opt.trace_model = detail::parse_trace_model(prog, arg, argv[i]);
     } else if (arg == "--metrics") {
       opt.metrics = true;
     } else if (arg == "--trace-out") {

@@ -13,6 +13,7 @@
 
 #include "src/common/rng.h"
 #include "src/fault/generator.h"
+#include "src/fault/physics_generator.h"
 #include "src/runtime/sweep.h"
 #include "src/runtime/thread_pool.h"
 #include "src/topo/baselines.h"
@@ -25,11 +26,30 @@ inline constexpr int kGpusPerNode = 4;
 inline constexpr int kClusterGpus = kNodes4 * kGpusPerNode;
 
 /// The 348-day production-calibrated trace, normalized to 4-GPU nodes and
-/// linearly remapped onto the 720-node simulation cluster.
-inline fault::FaultTrace make_sim_trace(bool quick = false) {
-  fault::TraceGenConfig cfg;  // 375 x 8-GPU nodes, 348 days
-  if (quick) cfg.duration_days = 60.0;
-  const auto trace8 = fault::generate_trace(cfg);
+/// linearly remapped onto the 720-node simulation cluster. `model` picks
+/// the trace family (--trace-model): memoryless Poisson draws, physics
+/// degradation, or degradation + correlated storms — all calibrated to the
+/// same Appendix A statistics, all deterministic per seed.
+inline fault::FaultTrace make_sim_trace(
+    bool quick = false,
+    fault::TraceModel model = fault::TraceModel::kPoisson) {
+  const auto trace8 = [&] {  // 375 x 8-GPU nodes, 348 days (60 in quick)
+    switch (model) {
+      case fault::TraceModel::kPhysics:
+      case fault::TraceModel::kStorm: {
+        fault::PhysicsTraceConfig cfg = model == fault::TraceModel::kStorm
+                                            ? fault::storm_trace_defaults()
+                                            : fault::physics_trace_defaults();
+        if (quick) cfg.duration_days = 60.0;
+        return fault::generate_physics_trace(cfg);
+      }
+      case fault::TraceModel::kPoisson:
+        break;
+    }
+    fault::TraceGenConfig cfg;
+    if (quick) cfg.duration_days = 60.0;
+    return fault::generate_trace(cfg);
+  }();
   Rng rng(91);
   return trace8.split_to_half_nodes(rng).remap_nodes(kNodes4);
 }

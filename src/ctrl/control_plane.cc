@@ -37,12 +37,19 @@ void ControlPlaneResult::merge(const ControlPlaneResult& other) {
   reconfig_coalesced += other.reconfig_coalesced;
   reconfig_drained += other.reconfig_drained;
   reconfig_failed += other.reconfig_failed;
+  reconfig_retried += other.reconfig_retried;
+  reconfig_dead_lettered += other.reconfig_dead_lettered;
+  reconfig_injected += other.reconfig_injected;
+  reconfig_pending_end += other.reconfig_pending_end;
   reconfig_batches += other.reconfig_batches;
+  degraded_starts += other.degraded_starts;
   peak_pending_jobs = std::max(peak_pending_jobs, other.peak_pending_jobs);
   peak_reconfig_depth =
       std::max(peak_reconfig_depth, other.peak_reconfig_depth);
   job_wait_s.merge(other.job_wait_s);
+  job_wait_degraded_s.merge(other.job_wait_degraded_s);
   reconfig_latency_s.merge(other.reconfig_latency_s);
+  reconfig_latency_retried_s.merge(other.reconfig_latency_retried_s);
 }
 
 void ControlPlaneResult::save(serde::Writer& w) const {
@@ -58,11 +65,18 @@ void ControlPlaneResult::save(serde::Writer& w) const {
   w.u64(reconfig_coalesced);
   w.u64(reconfig_drained);
   w.u64(reconfig_failed);
+  w.u64(reconfig_retried);
+  w.u64(reconfig_dead_lettered);
+  w.u64(reconfig_injected);
+  w.u64(reconfig_pending_end);
   w.u64(reconfig_batches);
+  w.u64(degraded_starts);
   w.u64(peak_pending_jobs);
   w.u64(peak_reconfig_depth);
   job_wait_s.save(w);
+  job_wait_degraded_s.save(w);
   reconfig_latency_s.save(w);
+  reconfig_latency_retried_s.save(w);
 }
 
 ControlPlaneResult ControlPlaneResult::load(serde::Reader& r) {
@@ -79,11 +93,18 @@ ControlPlaneResult ControlPlaneResult::load(serde::Reader& r) {
   out.reconfig_coalesced = r.u64();
   out.reconfig_drained = r.u64();
   out.reconfig_failed = r.u64();
+  out.reconfig_retried = r.u64();
+  out.reconfig_dead_lettered = r.u64();
+  out.reconfig_injected = r.u64();
+  out.reconfig_pending_end = r.u64();
   out.reconfig_batches = r.u64();
+  out.degraded_starts = r.u64();
   out.peak_pending_jobs = r.u64();
   out.peak_reconfig_depth = r.u64();
   out.job_wait_s = SloHistogram::load(r);
+  out.job_wait_degraded_s = SloHistogram::load(r);
   out.reconfig_latency_s = SloHistogram::load(r);
+  out.reconfig_latency_retried_s = SloHistogram::load(r);
   return out;
 }
 
@@ -103,6 +124,12 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& cfg,
       rng_(cfg.seed) {
   if (trace.node_count() != cfg.node_count)
     throw ConfigError("trace/control-plane node count mismatch");
+  if (cfg.inject.session_failure_rate < 0.0 ||
+      cfg.inject.session_failure_rate > 1.0)
+    throw ConfigError(
+        "ControlPlaneConfig.inject.session_failure_rate must be in [0, 1]");
+  if (cfg.retry.max_attempts < 1)
+    throw ConfigError("ControlPlaneConfig.retry.max_attempts must be >= 1");
   for (const auto& a : arrivals_) {
     if (a.tp_size_gpus != arrivals_[0].tp_size_gpus)
       throw ConfigError("mixed TP sizes in one control-plane fleet");
@@ -127,7 +154,7 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& cfg,
     fleet_.back().preload_session(kHbdSession, hbd);
     fleet_.back().preload_session(kParkSession, park);
   }
-  queue_ = ocstrx::ReconfigQueue(cfg.reconfig_batch);
+  queue_ = ocstrx::ReconfigQueue(cfg.reconfig_batch, cfg.retry, cfg.inject);
 
   // Seed the free pool from the healthy placement, in placement order
   // (aligned groups first — jobs consume alignment-preserving capacity
@@ -194,13 +221,22 @@ void ControlPlane::on_drain() {
       const double latency_s =
           (oc.drained_at - oc.request.enqueued_at) * kSecondsPerDay +
           *oc.switch_latency_s;
-      result_.reconfig_latency_s.observe(latency_s);
+      (oc.request.attempts > 1 ? result_.reconfig_latency_retried_s
+                               : result_.reconfig_latency_s)
+          .observe(latency_s);
       h_latency.observe(latency_s);
     }
+    // A retrying attempt has not resolved: its waiter keeps waiting (the
+    // job stays on its last good placement) and the coalescing key stays
+    // live inside the queue.
+    if (oc.will_retry) continue;
     const auto waiter = waiter_of_node_.find(oc.request.node);
     if (waiter != waiter_of_node_.end()) {
       Job& job = jobs_[static_cast<std::size_t>(waiter->second)];
       waiter_of_node_.erase(waiter);
+      // Giving up on a steer does not block the job: it starts anyway,
+      // marked degraded so its wait lands in the degraded SLO split.
+      if (!oc.ok()) job.degraded = true;
       if (--job.outstanding_reconfigs == 0 &&
           job.state == JobState::kStarting) {
         begin_running(job.arrival.id);
@@ -250,6 +286,7 @@ void ControlPlane::try_admit() {
       job.groups.push_back(std::move(nodes));
     }
     job.state = JobState::kStarting;
+    job.degraded = false;  // fresh start attempt, fresh SLO attribution
     start_pending_reconfigs(job);
     it = pending_.erase(it);
   }
@@ -270,7 +307,12 @@ void ControlPlane::begin_running(int job_id) {
   ++running_count_;
   ++result_.starts;
   const double wait_s = (engine_.now() - job.pending_since) * kSecondsPerDay;
-  result_.job_wait_s.observe(wait_s);
+  if (job.degraded) {
+    ++result_.degraded_starts;
+    result_.job_wait_degraded_s.observe(wait_s);
+  } else {
+    result_.job_wait_s.observe(wait_s);
+  }
   h_wait.observe(wait_s);
   job.completion = engine_.schedule_in(
       job.arrival.run_days, [this, job_id](evsim::Engine&) {
@@ -440,6 +482,7 @@ ControlPlaneResult ControlPlane::run() {
     g_pending.set(static_cast<double>(pending_.size()));
     g_running.set(static_cast<double>(running_count_));
     g_free.set(static_cast<double>(free_list_.size()));
+    if (health_probe) health_probe(*this, engine_.now());
   });
 
   engine_.run_until(trace_.duration_days());
@@ -451,6 +494,11 @@ ControlPlaneResult ControlPlane::run() {
   result_.reconfig_coalesced = queue_.coalesced();
   result_.reconfig_drained = queue_.drained();
   result_.reconfig_failed = queue_.failed();
+  result_.reconfig_retried = queue_.retried();
+  result_.reconfig_dead_lettered = queue_.dead_lettered();
+  result_.reconfig_injected = queue_.injected();
+  result_.reconfig_pending_end =
+      static_cast<std::uint64_t>(queue_.pending());
 
   if (obs::enabled()) {
     obs::counter("ctrl.events").add(result_.events);
@@ -464,6 +512,11 @@ ControlPlaneResult ControlPlane::run() {
     obs::counter("ctrl.reconfig_coalesced").add(result_.reconfig_coalesced);
     obs::counter("ctrl.reconfig_drained").add(result_.reconfig_drained);
     obs::counter("ctrl.reconfig_failed").add(result_.reconfig_failed);
+    obs::counter("ctrl.reconfig_retried").add(result_.reconfig_retried);
+    obs::counter("ctrl.reconfig_dead_lettered")
+        .add(result_.reconfig_dead_lettered);
+    obs::counter("ctrl.reconfig_injected").add(result_.reconfig_injected);
+    obs::counter("ctrl.degraded_starts").add(result_.degraded_starts);
   }
   return result_;
 }

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <optional>
 #include <string>
@@ -47,6 +48,7 @@
 #include "src/ctrl/workload.h"
 #include "src/dcn/fattree.h"
 #include "src/evsim/engine.h"
+#include "src/fault/injection.h"
 #include "src/fault/trace.h"
 #include "src/ocstrx/fabric_manager.h"
 #include "src/ocstrx/reconfig_queue.h"
@@ -78,6 +80,11 @@ struct ControlPlaneConfig {
   std::size_t reconfig_batch = 64;
   double drain_period_days = 1.0 / 86400.0;  ///< one drain tick per sim-second
 
+  /// Retry/backoff for transiently failed reconfigurations (days).
+  ocstrx::RetryPolicy retry;
+  /// Deterministic session-switch fault injection (off by default).
+  fault::InjectionPlan inject;
+
   /// Admission looks at most this many pending jobs per pass (FIFO head +
   /// bounded backfill), keeping event cost bounded under overload.
   std::size_t backfill_window = 64;
@@ -98,14 +105,21 @@ struct ControlPlaneResult {
   std::uint64_t placement_churn = 0;  ///< groups removed+added by faults
   std::uint64_t reconfig_enqueued = 0;
   std::uint64_t reconfig_coalesced = 0;
-  std::uint64_t reconfig_drained = 0;
-  std::uint64_t reconfig_failed = 0;
+  std::uint64_t reconfig_drained = 0;  ///< resolved (success/perm/dead)
+  std::uint64_t reconfig_failed = 0;   ///< failed apply ATTEMPTS
+  std::uint64_t reconfig_retried = 0;
+  std::uint64_t reconfig_dead_lettered = 0;
+  std::uint64_t reconfig_injected = 0;
+  std::uint64_t reconfig_pending_end = 0;  ///< unresolved at the horizon
   std::uint64_t reconfig_batches = 0;
+  std::uint64_t degraded_starts = 0;  ///< jobs started with a failed steer
   std::uint64_t peak_pending_jobs = 0;
   std::uint64_t peak_reconfig_depth = 0;
 
-  SloHistogram job_wait_s;          ///< pending -> running, seconds
-  SloHistogram reconfig_latency_s;  ///< enqueue -> applied, seconds
+  SloHistogram job_wait_s;           ///< pending -> running, seconds
+  SloHistogram job_wait_degraded_s;  ///< same, jobs that started degraded
+  SloHistogram reconfig_latency_s;   ///< enqueue -> applied 1st try, seconds
+  SloHistogram reconfig_latency_retried_s;  ///< applied after >= 1 retry
 
   /// Trial-order fold for sweeps (counter adds + histogram merges).
   void merge(const ControlPlaneResult& other);
@@ -131,6 +145,17 @@ class ControlPlane {
   std::size_t pending_jobs() const { return pending_.size(); }
   std::size_t running_jobs() const { return running_count_; }
   int free_groups() const { return static_cast<int>(free_list_.size()); }
+  /// True while the node has >= 1 active fault interval (depth > 0) —
+  /// the control plane's view of FaultTrace::faulty_at under overlapping
+  /// intervals. Valid during/after run().
+  bool node_faulty(int node) const {
+    return node >= 0 && node < static_cast<int>(fault_depth_.size()) &&
+           fault_depth_[static_cast<std::size_t>(node)] > 0;
+  }
+
+  /// Optional probe invoked by the periodic health sampler with
+  /// (*this, now). Monitoring/test hook; must not mutate the plane.
+  std::function<void(const ControlPlane&, double)> health_probe;
 
  private:
   enum class JobState { kPending, kStarting, kRunning, kDone };
@@ -141,6 +166,10 @@ class ControlPlane {
     double pending_since = 0.0;  ///< arrival or last preemption day
     std::vector<std::vector<int>> groups;  ///< owned node groups
     int outstanding_reconfigs = 0;
+    /// A steer for this start attempt failed permanently or dead-lettered:
+    /// the job runs on its last good placement (graceful degradation) and
+    /// its wait lands in the degraded SLO split.
+    bool degraded = false;
     evsim::EventId completion = 0;
   };
 

@@ -8,8 +8,24 @@
 namespace ihbd::fault {
 
 FaultTrace generate_trace(const TraceGenConfig& config) {
-  if (config.node_count <= 0) throw ConfigError("node_count must be > 0");
-  if (config.duration_days <= 0.0) throw ConfigError("duration must be > 0");
+  const auto require = [](bool ok, const char* field, const char* what) {
+    if (!ok)
+      throw ConfigError(std::string("TraceGenConfig.") + field + " " + what);
+  };
+  require(config.node_count > 0, "node_count", "must be > 0");
+  require(config.duration_days > 0.0, "duration_days", "must be > 0");
+  require(config.node_fault_rate_per_day > 0.0, "node_fault_rate_per_day",
+          "must be > 0");
+  require(config.repair_lognorm_sigma >= 0.0, "repair_lognorm_sigma",
+          "must be >= 0");
+  require(config.incident_rate_per_day > 0.0, "incident_rate_per_day",
+          "must be > 0");
+  require(config.incident_frac_mean > 0.0, "incident_frac_mean",
+          "must be > 0");
+  require(config.incident_frac_sigma >= 0.0, "incident_frac_sigma",
+          "must be >= 0");
+  require(config.incident_duration_sigma >= 0.0, "incident_duration_sigma",
+          "must be >= 0");
   Rng rng(config.seed);
   std::vector<FaultEvent> events;
 

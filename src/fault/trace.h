@@ -19,6 +19,16 @@
 namespace ihbd::fault {
 
 /// One node-fault interval: node `node` is down in [start_day, end_day).
+///
+/// Intervals on one node may OVERLAP or NEST — independent failure causes
+/// coexist (a storm outage can land on a node already down with a
+/// degradation fault, and the storm's crew-queued repair can outlast or end
+/// inside the degradation repair). The node is faulty at day d while AT
+/// LEAST ONE of its intervals covers d; symmetrically, one interval ending
+/// does not mean the node is up. Consumers therefore count active intervals
+/// per node (depth) and treat only 0 <-> 1 edges as state changes — that is
+/// exactly what faulty_at(), the replay cursors and the control plane's
+/// per-node depth counters do, and tests/ctrl_test.cc pins their agreement.
 struct FaultEvent {
   int node = 0;
   double start_day = 0.0;

@@ -1,39 +1,102 @@
 #include "src/ocstrx/reconfig_queue.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace ihbd::ocstrx {
+
+double RetryPolicy::backoff_for(int failed_attempts) const {
+  double b = base_backoff;
+  for (int i = 1; i < failed_attempts && b < max_backoff; ++i)
+    b *= backoff_factor;
+  return std::min(b, max_backoff);
+}
 
 bool ReconfigQueue::enqueue(int node, const std::string& session, double now) {
   const auto it = by_node_.find(node);
   if (it != by_node_.end()) {
     // Coalesce: retarget the queued request, keep its position and its
-    // original enqueue time (the oldest waiter defines the wait).
-    it->second->session = session;
+    // original enqueue time (the oldest waiter defines the wait). A
+    // backing-off request also gets a fresh attempt budget — the intent is
+    // new even though the node's backoff slot is not.
+    it->second.it->session = session;
+    if (it->second.in_retry) it->second.it->attempts = 0;
     ++coalesced_;
     return false;
   }
-  queue_.push_back(ReconfigRequest{node, session, now});
-  by_node_.emplace(node, std::prev(queue_.end()));
+  ready_.push_back(ReconfigRequest{node, session, now, 0, now});
+  by_node_.emplace(node, Slot{false, std::prev(ready_.end())});
   ++enqueued_;
   return true;
 }
 
+std::optional<double> ReconfigQueue::next_retry_at() const {
+  if (retry_.empty()) return std::nullopt;
+  return retry_.front().not_before;
+}
+
 std::vector<ReconfigOutcome> ReconfigQueue::drain_batch(
     std::vector<NodeFabricManager>& fleet, double now, Rng& rng) {
+  // Due retries rejoin the FIFO tail in deadline order before the batch is
+  // cut, so a recovered request competes fairly with fresh arrivals.
+  while (!retry_.empty() && retry_.front().not_before <= now) {
+    const int node = retry_.front().node;
+    ready_.splice(ready_.end(), retry_, retry_.begin());
+    by_node_[node] = Slot{false, std::prev(ready_.end())};
+  }
+
   std::vector<ReconfigOutcome> out;
-  while (!queue_.empty() && out.size() < max_batch_) {
+  while (!ready_.empty() && out.size() < max_batch_) {
     ReconfigOutcome oc;
-    oc.request = std::move(queue_.front());
+    oc.request = std::move(ready_.front());
     oc.drained_at = now;
     by_node_.erase(oc.request.node);
-    queue_.pop_front();
-    if (oc.request.node >= 0 &&
-        oc.request.node < static_cast<int>(fleet.size())) {
-      oc.switch_latency_s =
-          fleet[static_cast<std::size_t>(oc.request.node)].apply_session(
-              oc.request.session, rng);
+    ready_.pop_front();
+    ++oc.request.attempts;
+
+    const bool in_range = oc.request.node >= 0 &&
+                          oc.request.node < static_cast<int>(fleet.size());
+    auto* fm = in_range
+                   ? &fleet[static_cast<std::size_t>(oc.request.node)]
+                   : nullptr;
+    if (fm == nullptr || !fm->has_session(oc.request.session)) {
+      // A malformed request stays malformed: fail it permanently instead
+      // of burning the retry budget.
+      oc.permanent = true;
+      ++failed_;
+      ++drained_;
+    } else {
+      if (inject_.should_fail(oc.request.node, inject_seq_++)) {
+        oc.injected = true;
+        ++injected_;
+      } else {
+        oc.switch_latency_s = fm->apply_session(oc.request.session, rng);
+      }
+      if (oc.ok()) {
+        ++drained_;
+      } else {
+        ++failed_;
+        if (oc.request.attempts >= policy_.max_attempts) {
+          oc.dead_lettered = true;
+          dead_.push_back(oc.request);
+          ++dead_lettered_;
+          ++drained_;
+        } else {
+          oc.will_retry = true;
+          ReconfigRequest again = oc.request;
+          again.not_before = now + policy_.backoff_for(again.attempts);
+          // Stable insert by deadline: behind every request due no later.
+          auto pos = retry_.end();
+          while (pos != retry_.begin() &&
+                 std::prev(pos)->not_before > again.not_before) {
+            --pos;
+          }
+          const auto ins = retry_.insert(pos, std::move(again));
+          by_node_[oc.request.node] = Slot{true, ins};
+          ++retried_;
+        }
+      }
     }
-    ++drained_;
-    if (!oc.ok()) ++failed_;
     out.push_back(std::move(oc));
   }
   return out;

@@ -4,17 +4,26 @@
 // placement change (job start, fault re-orchestration, repair) enqueues a
 // per-node reconfiguration request — "apply preloaded session S on node n"
 // — and a drain event applies a FIFO batch against the node fabric
-// managers. Two properties matter at fleet scale:
+// managers. Three properties matter at fleet scale:
 //
-//   * COALESCING: while a request for node n is still queued, a newer
-//     request for n replaces its target session in place. The node
-//     switches once, to the latest target, but the request keeps its
-//     original queue position and enqueue time — whoever started waiting
-//     first has been waiting since then, and that wait is what the
-//     ctrl.reconfig_latency histogram must see.
+//   * COALESCING: while a request for node n is still queued (ready or
+//     backing off), a newer request for n replaces its target session in
+//     place. The node switches once, to the latest target, but the request
+//     keeps its original queue position and enqueue time — whoever started
+//     waiting first has been waiting since then, and that wait is what the
+//     ctrl.reconfig_latency histogram must see. Retargeting a backing-off
+//     request resets its attempt budget (it is a new intent) but keeps its
+//     backoff slot: the node's hardware is still the one that just failed.
 //   * BATCHING: drain_batch() pops at most `max_batch` requests per call,
 //     modelling a fabric-manager RPC fan-out budget per drain tick; the
 //     control plane re-arms drain events while the queue stays non-empty.
+//   * RETRY WITH BACKOFF: a transiently failed attempt (failed bundle
+//     hardware, or an injected fault from fault::InjectionPlan) re-queues
+//     the request with capped exponential backoff; after
+//     RetryPolicy::max_attempts the request moves to a dead-letter list
+//     for operator escalation. Unknown sessions and out-of-range nodes are
+//     PERMANENT failures: retrying cannot fix a request that was wrong, so
+//     they resolve (as failed) on the first attempt.
 //
 // The queue itself is pure bookkeeping (deterministic, no engine or obs
 // dependency); src/ctrl owns the drain cadence and the metrics.
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/fault/injection.h"
 #include "src/ocstrx/fabric_manager.h"
 
 namespace ihbd::ocstrx {
@@ -38,52 +48,110 @@ struct ReconfigRequest {
   int node = 0;
   std::string session;
   double enqueued_at = 0.0;  ///< caller's clock (the ctrl plane uses days)
+  int attempts = 0;          ///< apply attempts consumed (incl. current)
+  double not_before = 0.0;   ///< earliest next attempt (retry backoff)
 };
 
-/// Outcome of one drained request.
+/// Capped exponential backoff for transiently failed reconfigurations.
+/// Times are in the caller's clock units; the defaults assume DAYS (the
+/// ctrl plane's unit) and spell 2 s .. 64 s.
+struct RetryPolicy {
+  int max_attempts = 6;  ///< total attempts before dead-lettering
+  double base_backoff = 2.0 / 86400.0;   ///< delay after the 1st failure
+  double backoff_factor = 2.0;           ///< growth per further failure
+  double max_backoff = 64.0 / 86400.0;   ///< backoff cap
+
+  /// Backoff after `failed_attempts` consecutive failures (>= 1):
+  /// min(base * factor^(failed_attempts-1), max).
+  double backoff_for(int failed_attempts) const;
+};
+
+/// Outcome of one drained attempt. Exactly one of these holds per attempt;
+/// an attempt is RESOLVED (success, permanent failure, or dead-letter)
+/// unless `will_retry` is set, in which case the request is still queued
+/// and a later drain produces its next outcome.
 struct ReconfigOutcome {
-  ReconfigRequest request;
+  ReconfigRequest request;  ///< attempts = attempts consumed so far
   double drained_at = 0.0;
   /// Node-level hardware switch latency in seconds (preloaded fast path),
-  /// or nullopt when the session was unknown / a touched bundle had failed.
+  /// or nullopt when the attempt failed.
   std::optional<double> switch_latency_s;
+  bool injected = false;       ///< failure came from the InjectionPlan
+  bool permanent = false;      ///< unknown session / node out of range
+  bool will_retry = false;     ///< re-queued with backoff; NOT resolved
+  bool dead_lettered = false;  ///< gave up after max_attempts
 
   bool ok() const { return switch_latency_s.has_value(); }
+  bool resolved() const { return !will_retry; }
 };
 
-/// FIFO reconfiguration queue with per-node coalescing and batched drains.
+/// FIFO reconfiguration queue with per-node coalescing, batched drains and
+/// capped-exponential retry of transient failures.
 class ReconfigQueue {
  public:
-  explicit ReconfigQueue(std::size_t max_batch = 64) : max_batch_(max_batch) {}
+  explicit ReconfigQueue(std::size_t max_batch = 64, RetryPolicy retry = {},
+                         fault::InjectionPlan inject = {})
+      : max_batch_(max_batch), policy_(retry), inject_(inject) {}
 
   /// Queue (or coalesce) a request for `node`. Returns true when a new
   /// entry was created, false when an in-queue request was coalesced.
   bool enqueue(int node, const std::string& session, double now);
 
-  std::size_t pending() const { return queue_.size(); }
-  bool empty() const { return queue_.empty(); }
+  /// Requests not yet resolved: ready to drain plus backing off.
+  std::size_t pending() const { return ready_.size() + retry_.size(); }
+  bool empty() const { return ready_.empty() && retry_.empty(); }
+  std::size_t ready() const { return ready_.size(); }
+  std::size_t retrying() const { return retry_.size(); }
   std::size_t max_batch() const { return max_batch_; }
+  const RetryPolicy& policy() const { return policy_; }
 
-  /// Lifetime counters (monotonic).
+  /// Earliest backoff deadline among backing-off requests.
+  std::optional<double> next_retry_at() const;
+
+  /// Lifetime counters (monotonic). `drained` counts RESOLVED requests
+  /// (success, permanent failure, dead-letter); `failed` counts failed
+  /// apply attempts (including ones that were later retried to success);
+  /// `retried` counts re-queues; `injected` counts InjectionPlan hits.
   std::uint64_t enqueued() const { return enqueued_; }
   std::uint64_t coalesced() const { return coalesced_; }
   std::uint64_t drained() const { return drained_; }
   std::uint64_t failed() const { return failed_; }
+  std::uint64_t retried() const { return retried_; }
+  std::uint64_t dead_lettered() const { return dead_lettered_; }
+  std::uint64_t injected() const { return injected_; }
 
-  /// Pop up to max_batch() requests in FIFO order and apply each to its
-  /// node's fabric manager (preloaded fast path). `fleet` is indexed by
-  /// node id; out-of-range nodes and unknown sessions report !ok().
+  /// Requests that exhausted their attempt budget, in give-up order.
+  const std::vector<ReconfigRequest>& dead_letters() const { return dead_; }
+
+  /// Pop up to max_batch() due requests in FIFO order (backed-off requests
+  /// whose deadline has passed rejoin the FIFO first, in deadline order)
+  /// and apply each to its node's fabric manager (preloaded fast path).
+  /// `fleet` is indexed by node id. One outcome per attempt.
   std::vector<ReconfigOutcome> drain_batch(std::vector<NodeFabricManager>& fleet,
                                            double now, Rng& rng);
 
  private:
+  /// Where a node's queued request lives (a node has at most one).
+  struct Slot {
+    bool in_retry = false;
+    std::list<ReconfigRequest>::iterator it;
+  };
+
   std::size_t max_batch_;
-  std::list<ReconfigRequest> queue_;
-  std::unordered_map<int, std::list<ReconfigRequest>::iterator> by_node_;
+  RetryPolicy policy_;
+  fault::InjectionPlan inject_;
+  std::list<ReconfigRequest> ready_;  ///< FIFO, due now
+  std::list<ReconfigRequest> retry_;  ///< sorted by not_before (stable)
+  std::unordered_map<int, Slot> by_node_;
+  std::vector<ReconfigRequest> dead_;
+  std::uint64_t inject_seq_ = 0;  ///< per-attempt injection sequence
   std::uint64_t enqueued_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t drained_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t dead_lettered_ = 0;
+  std::uint64_t injected_ = 0;
 };
 
 }  // namespace ihbd::ocstrx

@@ -204,6 +204,80 @@ TEST(ControlPlane, RejectsMismatchedTraceAndMixedTp) {
                ConfigError);
 }
 
+TEST(ControlPlane, DepthCountersAgreeWithFaultyAtUnderNestedIntervals) {
+  // Regression for the overlap contract in src/fault/trace.h: the plane's
+  // per-node depth counters must reproduce FaultTrace::faulty_at exactly
+  // when intervals on one node nest or overlap. Interval endpoints sit off
+  // the 0.25-day sampler grid so the probe never races a same-instant
+  // fault edge.
+  const fault::FaultTrace trace(256, 8.0,
+                                {{3, 1.1, 5.3},    // outer
+                                 {3, 2.2, 3.7},    // nested: no 1->0 edge
+                                 {3, 4.9, 6.1},    // overlaps the outer tail
+                                 {7, 2.2, 2.9},
+                                 {7, 2.9, 3.3}});  // back-to-back, no gap
+  const auto arrivals = small_workload(8.0);
+  ControlPlane plane(small_config(), trace, arrivals);
+  int probes = 0;
+  plane.health_probe = [&](const ControlPlane& p, double day) {
+    const auto expect = trace.faulty_at(day);
+    for (int n = 0; n < 256; ++n)
+      ASSERT_EQ(p.node_faulty(n), static_cast<bool>(expect[n]))
+          << "node " << n << " at day " << day;
+    ++probes;
+  };
+  plane.run();
+  EXPECT_GE(probes, 30);  // the 0.25-day sampler covered the horizon
+}
+
+TEST(ControlPlane, InjectedFailuresRetryToConvergence) {
+  // 10% of session switches fail transiently: every run must still
+  // complete, retries must converge (nothing left in flight beyond the
+  // horizon's pending tail), and the whole thing stays byte-deterministic.
+  const fault::FaultTrace trace(
+      256, 8.0, {{3, 1.1, 3.0}, {40, 2.0, 4.0}, {41, 2.5, 5.5}});
+  const auto arrivals = small_workload(8.0, /*rate=*/120.0);
+  auto cfg = small_config();
+  cfg.inject.session_failure_rate = 0.10;
+  cfg.inject.seed = 17;
+  const auto a = run_control_plane(cfg, trace, arrivals);
+  const auto b = run_control_plane(cfg, trace, arrivals);
+  EXPECT_EQ(result_bytes(a), result_bytes(b));
+
+  EXPECT_GT(a.reconfig_injected, 0u);
+  EXPECT_GT(a.reconfig_retried, 0u);
+  // Conservation: every enqueued request is either resolved (drained) or
+  // still waiting out a backoff at the horizon.
+  EXPECT_EQ(a.reconfig_drained + a.reconfig_pending_end, a.reconfig_enqueued);
+  // At 10% per attempt with the default 6-attempt budget, dead letters are
+  // ~1e-6 likely per request; retried successes land in the retried split.
+  EXPECT_GT(a.reconfig_latency_retried_s.count(), 0u);
+  // The run makes progress comparable to fault-free despite the injection.
+  EXPECT_GT(a.completions, arrivals.size() / 2);
+}
+
+TEST(ControlPlane, DeadLettersDegradeJobsInsteadOfStalling) {
+  // Brutal injection (every switch fails) with a 2-attempt budget: steers
+  // dead-letter, jobs start anyway on their last good placement, and their
+  // waits land in the degraded SLO split — the run never stalls.
+  const fault::FaultTrace trace(256, 8.0, {});
+  const auto arrivals = small_workload(8.0);
+  auto cfg = small_config();
+  cfg.inject.session_failure_rate = 1.0;
+  cfg.inject.seed = 3;
+  cfg.retry.max_attempts = 2;
+  const auto r = run_control_plane(cfg, trace, arrivals);
+
+  EXPECT_GT(r.reconfig_dead_lettered, 0u);
+  EXPECT_GT(r.degraded_starts, 0u);
+  EXPECT_EQ(r.job_wait_degraded_s.count(), r.degraded_starts);
+  // Degraded or not, the light-load invariant holds: everything submitted
+  // early still finishes.
+  EXPECT_GE(r.completions + 5, r.arrivals);
+  // The two SLO splits partition the starts.
+  EXPECT_EQ(r.job_wait_s.count() + r.job_wait_degraded_s.count(), r.starts);
+}
+
 TEST(ControlPlane, MergeAndSerdeRoundTrip) {
   const fault::FaultTrace trace(256, 4.0, {{9, 1.0, 2.0}});
   const auto a = run_control_plane(small_config(), trace, small_workload(4.0));

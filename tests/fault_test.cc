@@ -137,5 +137,41 @@ TEST(Generator, RejectsBadConfig) {
   EXPECT_THROW(generate_trace(cfg), ConfigError);
 }
 
+TEST(Generator, ValidationNamesTheOffendingField) {
+  const auto expect_names = [](TraceGenConfig cfg, const char* field) {
+    try {
+      generate_trace(cfg);
+      FAIL() << "expected ConfigError naming " << field;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  TraceGenConfig cfg;
+  cfg.node_count = -3;
+  expect_names(cfg, "TraceGenConfig.node_count");
+  cfg = {};
+  cfg.duration_days = 0.0;
+  expect_names(cfg, "TraceGenConfig.duration_days");
+  cfg = {};
+  cfg.node_fault_rate_per_day = -0.1;
+  expect_names(cfg, "TraceGenConfig.node_fault_rate_per_day");
+  cfg = {};
+  cfg.repair_lognorm_sigma = -1.0;
+  expect_names(cfg, "TraceGenConfig.repair_lognorm_sigma");
+  cfg = {};
+  cfg.incident_rate_per_day = 0.0;
+  expect_names(cfg, "TraceGenConfig.incident_rate_per_day");
+  cfg = {};
+  cfg.incident_frac_mean = 0.0;
+  expect_names(cfg, "TraceGenConfig.incident_frac_mean");
+  cfg = {};
+  cfg.incident_frac_sigma = -0.5;
+  expect_names(cfg, "TraceGenConfig.incident_frac_sigma");
+  cfg = {};
+  cfg.incident_duration_sigma = -0.5;
+  expect_names(cfg, "TraceGenConfig.incident_duration_sigma");
+}
+
 }  // namespace
 }  // namespace ihbd::fault

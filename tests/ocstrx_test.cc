@@ -273,16 +273,207 @@ TEST(ReconfigQueue, ReportsFailuresWithoutStalling) {
   ReconfigQueue q;
   Rng rng(1);
   q.enqueue(0, "ring", 0.0);
-  q.enqueue(1, "ring", 0.0);   // touched bundle failed -> !ok()
-  q.enqueue(2, "nope", 0.0);   // unknown session -> !ok()
-  q.enqueue(99, "ring", 0.0);  // out-of-fleet node -> !ok()
+  q.enqueue(1, "ring", 0.0);   // touched bundle failed -> transient !ok()
+  q.enqueue(2, "nope", 0.0);   // unknown session -> permanent !ok()
+  q.enqueue(99, "ring", 0.0);  // out-of-fleet node -> permanent !ok()
   const auto out = q.drain_batch(fleet, 1.0, rng);
   ASSERT_EQ(out.size(), 4u);
   EXPECT_TRUE(out[0].ok());
   EXPECT_FALSE(out[1].ok());
+  EXPECT_TRUE(out[1].will_retry);  // hardware can recover: retry
   EXPECT_FALSE(out[2].ok());
+  EXPECT_TRUE(out[2].permanent);  // a wrong request stays wrong: resolve
   EXPECT_FALSE(out[3].ok());
+  EXPECT_TRUE(out[3].permanent);
   EXPECT_EQ(q.failed(), 3u);
+  EXPECT_EQ(q.retrying(), 1u);
+  EXPECT_EQ(q.drained(), 3u);  // node 1 is unresolved, not drained
+  EXPECT_FALSE(q.empty());
+
+  // The bundle comes back; the retry succeeds once its backoff elapses.
+  fleet[1].bundle(0).repair();
+  ASSERT_TRUE(q.next_retry_at().has_value());
+  const auto again = q.drain_batch(fleet, *q.next_retry_at(), rng);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_TRUE(again[0].ok());
+  EXPECT_EQ(again[0].request.node, 1);
+  EXPECT_EQ(again[0].request.attempts, 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.drained(), 4u);
+}
+
+TEST(ReconfigQueue, BackoffScheduleIsCappedExponential) {
+  RetryPolicy p;
+  p.base_backoff = 2.0;
+  p.backoff_factor = 2.0;
+  p.max_backoff = 16.0;
+  EXPECT_DOUBLE_EQ(p.backoff_for(1), 2.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(2), 4.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(3), 8.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(4), 16.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(5), 16.0);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff_for(50), 16.0);
+
+  // The queue schedules exactly that ladder: each failed attempt's next
+  // deadline is now + backoff_for(attempts so far).
+  auto fleet = test_fleet(1);
+  fleet[0].bundle(0).fail();
+  p.max_attempts = 100;
+  ReconfigQueue q(/*max_batch=*/4, p);
+  Rng rng(1);
+  q.enqueue(0, "ring", 0.0);
+  double now = 0.0;
+  const double expect_gap[] = {2.0, 4.0, 8.0, 16.0, 16.0};
+  for (const double gap : expect_gap) {
+    const auto out = q.drain_batch(fleet, now, rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].will_retry);
+    ASSERT_TRUE(q.next_retry_at().has_value());
+    EXPECT_DOUBLE_EQ(*q.next_retry_at(), now + gap);
+    // Draining before the deadline is a no-op: the request backs off.
+    EXPECT_TRUE(q.drain_batch(fleet, now + gap / 2, rng).empty());
+    now = *q.next_retry_at();
+  }
+  EXPECT_EQ(q.retried(), 5u);
+}
+
+TEST(ReconfigQueue, DeadLettersAfterMaxAttempts) {
+  auto fleet = test_fleet(2);
+  fleet[1].bundle(1).fail();
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_backoff = 1.0;
+  p.backoff_factor = 2.0;
+  p.max_backoff = 4.0;
+  ReconfigQueue q(/*max_batch=*/4, p);
+  Rng rng(1);
+  q.enqueue(1, "ring", 0.0);
+  double now = 0.0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const auto out = q.drain_batch(fleet, now, rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].request.attempts, attempt);
+    EXPECT_FALSE(out[0].ok());
+    if (attempt < 3) {
+      EXPECT_TRUE(out[0].will_retry);
+      now = *q.next_retry_at();
+    } else {
+      EXPECT_TRUE(out[0].dead_lettered);
+      EXPECT_FALSE(out[0].will_retry);
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.dead_lettered(), 1u);
+  EXPECT_EQ(q.drained(), 1u);  // dead-lettering RESOLVES the request
+  EXPECT_EQ(q.failed(), 3u);
+  ASSERT_EQ(q.dead_letters().size(), 1u);
+  EXPECT_EQ(q.dead_letters()[0].node, 1);
+  EXPECT_EQ(q.dead_letters()[0].session, "ring");
+  EXPECT_EQ(q.dead_letters()[0].attempts, 3);
+  // The dead letter freed the coalescing key: the node can re-enqueue.
+  EXPECT_TRUE(q.enqueue(1, "park", now));
+}
+
+TEST(ReconfigQueue, InjectedFailuresAreDeterministic) {
+  fault::InjectionPlan plan;
+  plan.session_failure_rate = 0.5;
+  plan.seed = 7;
+  // The plan is a pure hash: same (node, sequence) -> same verdict.
+  for (int n = 0; n < 4; ++n) {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(plan.should_fail(n, s), plan.should_fail(n, s));
+    }
+  }
+
+  // Two identical queues see identical injected-failure sequences.
+  const auto run = [&] {
+    auto fleet = test_fleet(8);
+    ReconfigQueue q(/*max_batch=*/64, RetryPolicy{}, plan);
+    Rng rng(3);
+    for (int n = 0; n < 8; ++n) q.enqueue(n, "ring", 0.0);
+    std::string verdicts;
+    for (const auto& oc : q.drain_batch(fleet, 1.0, rng))
+      verdicts += oc.injected ? 'x' : '.';
+    return verdicts;
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_NE(a.find('x'), std::string::npos);  // rate 0.5 over 8 draws
+  EXPECT_NE(a.find('.'), std::string::npos);
+
+  // rate = 1 fails every attempt until the dead-letter gives up.
+  plan.session_failure_rate = 1.0;
+  auto fleet = test_fleet(1);
+  RetryPolicy p;
+  p.max_attempts = 4;
+  ReconfigQueue q(/*max_batch=*/4, p, plan);
+  Rng rng(3);
+  q.enqueue(0, "ring", 0.0);
+  double now = 0.0;
+  while (!q.empty()) {
+    q.drain_batch(fleet, now, rng);
+    now = q.next_retry_at().value_or(now + 1.0);
+  }
+  EXPECT_EQ(q.injected(), 4u);
+  EXPECT_EQ(q.dead_lettered(), 1u);
+}
+
+TEST(ReconfigQueue, CoalescingOntoBackoffKeepsSlotButResetsBudget) {
+  auto fleet = test_fleet(2);
+  fleet[0].bundle(0).fail();
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_backoff = 2.0;
+  p.max_backoff = 8.0;
+  ReconfigQueue q(/*max_batch=*/4, p);
+  Rng rng(1);
+  q.enqueue(0, "ring", 0.0);
+  auto out = q.drain_batch(fleet, 1.0, rng);
+  ASSERT_TRUE(out[0].will_retry);
+  const double deadline = *q.next_retry_at();
+
+  // Retarget while backing off: no new entry, the backoff slot and the
+  // original enqueue time survive, but the attempt budget is fresh (the
+  // intent is new).
+  EXPECT_FALSE(q.enqueue(0, "park", 2.0));
+  EXPECT_EQ(q.coalesced(), 1u);
+  EXPECT_DOUBLE_EQ(*q.next_retry_at(), deadline);
+
+  fleet[0].bundle(0).repair();
+  out = q.drain_batch(fleet, deadline, rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_EQ(out[0].request.session, "park");
+  EXPECT_DOUBLE_EQ(out[0].request.enqueued_at, 0.0);
+  EXPECT_EQ(out[0].request.attempts, 1);  // budget was reset on coalesce
+}
+
+TEST(ReconfigQueue, PromotedRetriesKeepDeadlineOrder) {
+  auto fleet = test_fleet(4);
+  fleet[2].bundle(0).fail();
+  fleet[3].bundle(0).fail();
+  RetryPolicy p;
+  p.base_backoff = 2.0;
+  p.max_backoff = 8.0;
+  p.max_attempts = 5;
+  ReconfigQueue q(/*max_batch=*/8, p);
+  Rng rng(1);
+  // Node 3 fails first (earlier deadline), then node 2 one drain later.
+  q.enqueue(3, "ring", 0.0);
+  q.drain_batch(fleet, 0.0, rng);        // 3 -> retry at 2.0
+  q.enqueue(2, "ring", 0.5);
+  q.drain_batch(fleet, 0.5, rng);        // 2 -> retry at 2.5
+  q.enqueue(1, "ring", 1.0);             // fresh arrival
+  fleet[2].bundle(0).repair();
+  fleet[3].bundle(0).repair();
+  // At 3.0 both retries are due: they rejoin ahead-of-batch in deadline
+  // order (3 before 2), after the already-ready fresh arrival.
+  const auto out = q.drain_batch(fleet, 3.0, rng);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].request.node, 1);
+  EXPECT_EQ(out[1].request.node, 3);
+  EXPECT_EQ(out[2].request.node, 2);
+  for (const auto& oc : out) EXPECT_TRUE(oc.ok());
   EXPECT_TRUE(q.empty());
 }
 

@@ -1,0 +1,199 @@
+// Tests for the physics-grounded fault generator (src/fault/physics_generator.h):
+// calibration against the paper's Appendix A statistics, the burstiness
+// contract versus the Poisson baseline, determinism, config validation, and
+// the overlapping-interval geometry storm traces feed into every consumer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/fault/generator.h"
+#include "src/fault/injection.h"
+#include "src/fault/physics_generator.h"
+
+namespace ihbd::fault {
+namespace {
+
+TEST(PhysicsGenerator, CalibratedToPaperStatistics) {
+  // Appendix A / Fig. 18 targets: mean 2.33%, p50 1.67%, p99 7.22% for
+  // 8-GPU nodes over 348 days. The degradation models reproduce mean/p50
+  // on the Poisson generator's tolerance; the correlated tail is heavier
+  // by design (that is the point of the physics), so p99 gets more slack.
+  for (const auto& cfg : {physics_trace_defaults(), storm_trace_defaults()}) {
+    const Summary s = generate_physics_trace(cfg).ratio_summary(0.25);
+    EXPECT_NEAR(s.mean, PaperTraceStats::kMeanRatio, 0.006);
+    EXPECT_NEAR(s.p50, PaperTraceStats::kP50Ratio, 0.006);
+    EXPECT_NEAR(s.p99, PaperTraceStats::kP99Ratio, 0.035);
+  }
+}
+
+TEST(PhysicsGenerator, StrictlyBurstierThanPoissonBaseline) {
+  // The degradation models exist because real failures arrive in correlated
+  // bursts: at the calibrated defaults both must have a strictly heavier
+  // p99/p50 ratio than the memoryless Poisson baseline.
+  const Summary poisson = generate_trace().ratio_summary(0.25);
+  const Summary physics =
+      generate_physics_trace(physics_trace_defaults()).ratio_summary(0.25);
+  const Summary storm =
+      generate_physics_trace(storm_trace_defaults()).ratio_summary(0.25);
+  ASSERT_GT(poisson.p50, 0.0);
+  EXPECT_GT(physics.p99 / physics.p50, poisson.p99 / poisson.p50);
+  EXPECT_GT(storm.p99 / storm.p50, poisson.p99 / poisson.p50);
+}
+
+TEST(PhysicsGenerator, DeterministicForSeed) {
+  PhysicsTraceConfig cfg = storm_trace_defaults();
+  cfg.duration_days = 60.0;
+  const auto a = generate_physics_trace(cfg);
+  const auto b = generate_physics_trace(cfg);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_DOUBLE_EQ(a.events()[i].start_day, b.events()[i].start_day);
+    EXPECT_DOUBLE_EQ(a.events()[i].end_day, b.events()[i].end_day);
+  }
+  cfg.seed = 7;
+  const auto c = generate_physics_trace(cfg);
+  EXPECT_NE(a.events().size(), c.events().size());
+}
+
+TEST(PhysicsGenerator, EventsStayInsideTheWindow) {
+  PhysicsTraceConfig cfg = storm_trace_defaults();
+  cfg.duration_days = 90.0;
+  const auto trace = generate_physics_trace(cfg);
+  EXPECT_FALSE(trace.events().empty());
+  for (const auto& ev : trace.events()) {
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, cfg.node_count);
+    EXPECT_GE(ev.start_day, 0.0);
+    EXPECT_LT(ev.start_day, ev.end_day);
+    EXPECT_LE(ev.end_day, cfg.duration_days);
+  }
+}
+
+TEST(PhysicsGenerator, StormTracesProduceOverlappingIntervals) {
+  // Storm outages land on nodes that may already be down with a degradation
+  // fault: the default storm trace must contain same-node interval overlap,
+  // the geometry every consumer's depth counting exists for (see the
+  // FaultEvent overlap contract in src/fault/trace.h).
+  const auto trace = generate_physics_trace(storm_trace_defaults());
+  std::vector<std::vector<std::pair<double, double>>> per(
+      static_cast<std::size_t>(trace.node_count()));
+  for (const auto& ev : trace.events())
+    per[static_cast<std::size_t>(ev.node)].push_back(
+        {ev.start_day, ev.end_day});
+  int overlapping = 0;
+  for (auto& v : per) {
+    std::sort(v.begin(), v.end());
+    for (std::size_t i = 1; i < v.size(); ++i)
+      if (v[i].first < v[i - 1].second) ++overlapping;
+  }
+  EXPECT_GT(overlapping, 0);
+}
+
+TEST(PhysicsGenerator, CrewPoolQueuesDomainStorms) {
+  // With one crew, a domain-wide storm must drain serially: the repair
+  // completion times of its nodes are strictly staggered, giving storms
+  // their long tail. A large crew pool repairs the same storm in parallel.
+  PhysicsTraceConfig cfg = storm_trace_defaults();
+  cfg.duration_days = 120.0;
+  cfg.excursion_rate_per_day = 0.0;   // isolate the storm process
+  cfg.aging_db_per_day = 0.0;
+  cfg.aging_walk_db = 0.0;
+  cfg.drift_sigma_db = 0.0;
+  cfg.transient_prob = 0.0;
+  cfg.storm.rate_per_day = 0.05;
+  cfg.storm.domain_prob = 1.0;  // every storm takes a whole domain
+  cfg.storm.repair_crews = 1;
+  const auto queued = generate_physics_trace(cfg);
+  cfg.storm.repair_crews = 1000;
+  const auto parallel = generate_physics_trace(cfg);
+  ASSERT_FALSE(queued.events().empty());
+  ASSERT_EQ(queued.events().size(), parallel.events().size());
+  // Same outages, strictly longer downtime under the bounded crew pool.
+  double queued_downtime = 0.0, parallel_downtime = 0.0;
+  for (const auto& ev : queued.events()) queued_downtime += ev.duration();
+  for (const auto& ev : parallel.events()) parallel_downtime += ev.duration();
+  EXPECT_GT(queued_downtime, 2.0 * parallel_downtime);
+}
+
+TEST(PhysicsGenerator, ValidationNamesTheOffendingField) {
+  const auto expect_names = [](PhysicsTraceConfig cfg, const char* field) {
+    try {
+      generate_physics_trace(cfg);
+      FAIL() << "expected ConfigError naming " << field;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  PhysicsTraceConfig cfg;
+  cfg.node_count = 0;
+  expect_names(cfg, "PhysicsTraceConfig.node_count");
+  cfg = {};
+  cfg.duration_days = -1.0;
+  expect_names(cfg, "PhysicsTraceConfig.duration_days");
+  cfg = {};
+  cfg.tick_days = 0.0;
+  expect_names(cfg, "PhysicsTraceConfig.tick_days");
+  cfg = {};
+  cfg.transient_prob = 1.5;
+  expect_names(cfg, "PhysicsTraceConfig.transient_prob");
+  cfg = {};
+  cfg.aging_db_per_day = -0.1;
+  expect_names(cfg, "PhysicsTraceConfig.aging_db_per_day");
+  cfg = {};
+  cfg.ber_threshold = 0.7;
+  expect_names(cfg, "PhysicsTraceConfig.ber_threshold");
+  cfg = {};
+  cfg.storm.rate_per_day = 0.01;
+  cfg.storm.repair_crews = 0;
+  expect_names(cfg, "PhysicsTraceConfig.storm.repair_crews");
+  cfg = {};
+  cfg.storm.rate_per_day = 0.01;
+  cfg.storm.domain_prob = -0.2;
+  expect_names(cfg, "PhysicsTraceConfig.storm.domain_prob");
+}
+
+TEST(InjectionPlan, PureHashIsDeterministicAndRateBounded) {
+  InjectionPlan off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.should_fail(3, 17));
+
+  InjectionPlan plan;
+  plan.session_failure_rate = 0.10;
+  plan.seed = 42;
+  int hits = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const bool fail = plan.should_fail(i % 64, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(fail,
+              plan.should_fail(i % 64, static_cast<std::uint64_t>(i)));
+    hits += fail ? 1 : 0;
+  }
+  // ~10% +- sampling noise.
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.10, 0.01);
+
+  // A different seed is a different plan.
+  InjectionPlan other = plan;
+  other.seed = 43;
+  int agree = 0;
+  for (int i = 0; i < 1000; ++i)
+    agree += plan.should_fail(0, static_cast<std::uint64_t>(i)) ==
+                     other.should_fail(0, static_cast<std::uint64_t>(i))
+                 ? 1
+                 : 0;
+  EXPECT_LT(agree, 1000);
+}
+
+TEST(TraceModel, NamesAreCanonical) {
+  EXPECT_STREQ(trace_model_name(TraceModel::kPoisson), "poisson");
+  EXPECT_STREQ(trace_model_name(TraceModel::kPhysics), "physics");
+  EXPECT_STREQ(trace_model_name(TraceModel::kStorm), "storm");
+}
+
+}  // namespace
+}  // namespace ihbd::fault
